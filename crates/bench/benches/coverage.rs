@@ -1,0 +1,65 @@
+//! Criterion benches for the link-budget hot path: SNR evaluation and
+//! coverage-profile sampling (the inner loop of the ISD sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+use std::hint::black_box;
+
+use corridor_core::prelude::*;
+
+fn bench_snr_point(c: &mut Criterion) {
+    let layout = CorridorLayout::with_policy(
+        Meters::new(2400.0),
+        8,
+        &PlacementPolicy::paper_default(),
+    )
+    .unwrap();
+    let model = layout.snr_model(&LinkBudget::paper_default());
+    c.bench_function("snr_at/fig3_scenario", |b| {
+        b.iter(|| model.snr_at(black_box(Meters::new(777.0))))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let budget = LinkBudget::paper_default();
+    let mut group = c.benchmark_group("coverage_profile");
+    for n in [0usize, 4, 8] {
+        let isd = Meters::new(2400.0);
+        let layout = if n == 0 {
+            CorridorLayout::conventional(isd)
+        } else {
+            CorridorLayout::with_policy(isd, n, &PlacementPolicy::paper_default()).unwrap()
+        };
+        group.bench_with_input(BenchmarkId::new("sample_5m", n), &layout, |b, layout| {
+            b.iter(|| layout.coverage_profile(black_box(&budget), Meters::new(5.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_throughput_model(c: &mut Criterion) {
+    let thr = ThroughputModel::nr_default();
+    c.bench_function("throughput/spectral_efficiency", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for snr in -100..600 {
+                acc += thr.spectral_efficiency(black_box(Db::new(f64::from(snr) / 10.0)));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_snr_point, bench_profile, bench_throughput_model
+}
+criterion_main!(benches);

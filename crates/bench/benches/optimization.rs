@@ -1,0 +1,92 @@
+//! Criterion benches for the maximum-ISD optimizer, plus the placement
+//! and criterion ablations called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+use std::hint::black_box;
+
+use corridor_core::prelude::*;
+
+fn optimizer() -> IsdOptimizer {
+    IsdOptimizer::new(LinkBudget::paper_default()).with_sample_step(Meters::new(10.0))
+}
+
+fn bench_max_isd(c: &mut Criterion) {
+    let opt = optimizer();
+    let mut group = c.benchmark_group("max_isd");
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| opt.max_isd(black_box(n)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: placement policy. Prints the resulting ISD tables so the
+/// bench log doubles as the ablation record.
+fn bench_ablation_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_placement");
+    for (label, policy) in [
+        ("fixed_200m", PlacementPolicy::paper_default()),
+        ("evenly_spaced", PlacementPolicy::EvenlySpaced),
+    ] {
+        let opt = optimizer().with_placement(policy.clone());
+        let table = opt.sweep(8);
+        println!("placement ablation [{label}]: {}", summary(&table));
+        group.bench_function(BenchmarkId::new("sweep8", label), |b| {
+            b.iter(|| opt.max_isd(black_box(8)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: coverage criterion (29 dB paper threshold vs the exact
+/// 29.3 dB cap vs the train-windowed average).
+fn bench_ablation_criterion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_criterion");
+    let criteria = [
+        ("min_snr_29db", CoverageCriterion::paper_default()),
+        ("peak_everywhere", CoverageCriterion::PeakEverywhere),
+        (
+            "train_windowed",
+            CoverageCriterion::TrainWindowed {
+                window: Meters::new(400.0),
+                min_se: 5.84,
+            },
+        ),
+    ];
+    for (label, criterion) in criteria {
+        let opt = optimizer().with_criterion(criterion);
+        let table = opt.sweep(8);
+        println!("criterion ablation [{label}]: {}", summary(&table));
+        group.bench_function(BenchmarkId::new("sweep8", label), |b| {
+            b.iter(|| opt.max_isd(black_box(8)))
+        });
+    }
+    group.finish();
+}
+
+fn summary(table: &IsdTable) -> String {
+    let entries: Vec<String> = table
+        .iter()
+        .map(|(n, isd)| format!("{n}:{:.0}", isd.value()))
+        .collect();
+    entries.join(" ")
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets =
+    bench_max_isd,
+    bench_ablation_placement,
+    bench_ablation_criterion
+}
+criterion_main!(benches);

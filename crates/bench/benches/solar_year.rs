@@ -1,0 +1,80 @@
+//! Criterion benches for the solar substrate: the hourly year simulation
+//! and the zero-downtime sizing search (Table IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+use std::hint::black_box;
+
+use corridor_core::prelude::*;
+use corridor_core::solar::sizing::SizingOptions;
+
+fn bench_simulate_year(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_year");
+    for location in climate::paper_regions() {
+        let system = OffGridSystem::new(
+            location.clone(),
+            PvArray::standard_modules(3),
+            Battery::paper_default(),
+            DailyLoadProfile::repeater_paper_default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(location.name()),
+            &system,
+            |b, system| b.iter(|| system.simulate_year(black_box(2))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let options = SizingOptions::paper_default();
+    c.bench_function("sizing/berlin_full_ladder", |b| {
+        b.iter(|| {
+            sizing::size_for_zero_downtime(
+                black_box(climate::berlin()),
+                DailyLoadProfile::repeater_paper_default(),
+                &options,
+            )
+        })
+    });
+}
+
+/// Ablation: module mounting angle. Vertical mounting loses summer yield
+/// but maximizes the binding winter yield — printed for the record.
+fn bench_ablation_mounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mounting");
+    for (label, tilt) in [("vertical_90", 90.0), ("latitude_tilt_40", 40.0), ("flat_0", 0.0)] {
+        let system = OffGridSystem::new(
+            climate::berlin(),
+            PvArray::standard_modules(3),
+            Battery::with_capacity(WattHours::new(1440.0)),
+            DailyLoadProfile::repeater_paper_default(),
+        )
+        .with_mounting(tilt, 0.0);
+        let stats = system.simulate_year(2);
+        println!(
+            "mounting ablation [{label}]: {:.1} % days full, {} downtime days, min SoC {:.0} %",
+            stats.full_battery_day_fraction() * 100.0,
+            stats.downtime_days(),
+            stats.min_soc_fraction() * 100.0
+        );
+        group.bench_function(BenchmarkId::new("berlin", label), |b| {
+            b.iter(|| system.simulate_year(black_box(2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_simulate_year, bench_sizing, bench_ablation_mounting
+}
+criterion_main!(benches);

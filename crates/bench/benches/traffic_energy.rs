@@ -1,0 +1,132 @@
+//! Criterion benches for the traffic/energy pipeline (Fig. 4), plus the
+//! donor-duty, wake-latency and stochastic-traffic ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+}
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use corridor_core::prelude::*;
+
+fn bench_activity(c: &mut Criterion) {
+    let passes = Timetable::paper_default().passes();
+    let section = TrackSection::new(Meters::ZERO, Meters::new(2650.0));
+    c.bench_function("activity/152_trains", |b| {
+        b.iter(|| ActivityTimeline::for_section(black_box(&section), black_box(&passes)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let params = ScenarioParams::paper_default();
+    let table = IsdTable::paper();
+    c.bench_function("fig4/full_figure", |b| {
+        b.iter(|| experiments::fig4(black_box(&params), black_box(&table)))
+    });
+}
+
+/// Ablation: donor duty model — donor active for the whole segment (the
+/// model's default) versus only half the segment. Printed for the record.
+fn bench_ablation_donor(c: &mut Criterion) {
+    let params = ScenarioParams::paper_default();
+    let table = IsdTable::paper();
+    let full = energy::savings_vs_conventional(
+        &params,
+        &table,
+        10,
+        EnergyStrategy::SleepModeRepeaters,
+    );
+    // a donor that only serves half the segment saves at most the donor
+    // share; bound it by removing donors outright
+    let no_donor = {
+        let isd = table.isd_for(10).unwrap();
+        let d = energy::average_power_per_km(&params, 10, isd, EnergyStrategy::SleepModeRepeaters);
+        let baseline = energy::conventional_baseline(&params);
+        1.0 - (d.hp + d.service) / baseline.total()
+    };
+    println!(
+        "donor ablation: savings {:.1} % (donor whole-segment duty) .. {:.1} % (no donor at all)",
+        full * 100.0,
+        no_donor * 100.0
+    );
+    let isd = table.isd_for(10).unwrap();
+    c.bench_function("energy/average_power_per_km", |b| {
+        b.iter(|| {
+            energy::average_power_per_km(
+                black_box(&params),
+                10,
+                isd,
+                EnergyStrategy::SleepModeRepeaters,
+            )
+        })
+    });
+}
+
+/// Ablation: wake latency — energy overhead of the barrier lead.
+fn bench_ablation_wake(c: &mut Criterion) {
+    let params = ScenarioParams::paper_default();
+    let passes = params.timetable().passes();
+    let section = TrackSection::around(Meters::new(1200.0), params.lp_spacing());
+    let mut group = c.benchmark_group("ablation_wake");
+    for (label, lead_s) in [("instant", 0.0), ("paper_1s_lead", 1.0), ("lead_5s", 5.0)] {
+        let ctl = WakeController::new(Seconds::new(lead_s), Seconds::new(0.3));
+        let activity = ActivityTimeline::for_section_with_wake(&section, &passes, &ctl);
+        let duty = DutyCycle::over_day(activity.total_active_hours(), Hours::ZERO);
+        println!(
+            "wake ablation [{label}]: repeater daily energy {:.2} Wh",
+            duty.daily_energy(params.lp_node()).value()
+        );
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| ActivityTimeline::for_section_with_wake(&section, &passes, &ctl))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: stochastic traffic — Poisson arrivals versus the timetable.
+fn bench_ablation_stochastic(c: &mut Criterion) {
+    let params = ScenarioParams::paper_default();
+    let section = TrackSection::new(Meters::ZERO, Meters::new(2400.0));
+    let poisson = PoissonTimetable::paper_rate();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut sum = 0.0;
+    const DAYS: usize = 50;
+    for _ in 0..DAYS {
+        let passes = poisson.sample_passes(&mut rng);
+        sum += ActivityTimeline::for_section(&section, &passes)
+            .total_active_hours()
+            .value();
+    }
+    let det = ActivityTimeline::for_section(&section, &params.timetable().passes())
+        .total_active_hours()
+        .value();
+    println!(
+        "stochastic ablation: deterministic {det:.3} h/day vs Poisson mean {:.3} h/day over {DAYS} days",
+        sum / DAYS as f64
+    );
+    c.bench_function("traffic/poisson_day", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        b.iter(|| {
+            let passes = poisson.sample_passes(&mut rng);
+            ActivityTimeline::for_section(black_box(&section), &passes)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets =
+    bench_activity,
+    bench_fig4,
+    bench_ablation_donor,
+    bench_ablation_wake,
+    bench_ablation_stochastic
+}
+criterion_main!(benches);

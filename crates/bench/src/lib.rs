@@ -1,0 +1,36 @@
+//! Shared helpers for the reproduction binaries and benches.
+//!
+//! The binaries (`fig3`, `fig4`, `isd_sweep`, `table1`–`table4`,
+//! `headline`) regenerate, as text, every table and figure of the paper;
+//! the criterion benches measure the hot paths and run the ablations
+//! called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use corridor_core::ScenarioParams;
+
+/// The scenario every binary uses: the paper's defaults.
+pub fn scenario() -> ScenarioParams {
+    ScenarioParams::paper_default()
+}
+
+/// Formats a watt-hour quantity the way the paper's Fig. 4 axis does.
+pub fn wh(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_paper_default() {
+        assert_eq!(scenario(), ScenarioParams::paper_default());
+    }
+
+    #[test]
+    fn wh_formats_one_decimal() {
+        assert_eq!(wh(467.04), "467.0");
+    }
+}

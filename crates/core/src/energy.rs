@@ -1,0 +1,380 @@
+//! Average corridor energy per hour and kilometre (the paper's Fig. 4).
+
+use corridor_deploy::{Corridor, IsdTable, SegmentInventory};
+use corridor_traffic::{ActivityTimeline, TrackSection};
+use corridor_units::{Meters, WattHours, Watts};
+
+use crate::{EnergyStrategy, ScenarioParams};
+
+/// Average mains power per kilometre of corridor, split by equipment role.
+///
+/// Because the traffic pattern repeats daily, the average power in watts
+/// equals the average energy in watt-hours per hour — the unit of the
+/// paper's Fig. 4 y-axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SegmentEnergy {
+    /// High-power masts, W/km.
+    pub hp: Watts,
+    /// Low-power service repeater nodes, W/km.
+    pub service: Watts,
+    /// Low-power donor repeater nodes, W/km.
+    pub donor: Watts,
+}
+
+impl SegmentEnergy {
+    /// Total average mains power per kilometre.
+    pub fn total(&self) -> Watts {
+        self.hp + self.service + self.donor
+    }
+
+    /// Average energy per hour per kilometre (numerically equal to
+    /// [`SegmentEnergy::total`]).
+    pub fn hourly_energy_per_km(&self) -> WattHours {
+        WattHours::new(self.total().value())
+    }
+
+    /// Fractional savings of this deployment versus `baseline`.
+    pub fn savings_vs(&self, baseline: &SegmentEnergy) -> f64 {
+        1.0 - self.total() / baseline.total()
+    }
+}
+
+/// Daily full-load hours of a node whose coverage section spans `section`.
+fn active_hours(params: &ScenarioParams, section: TrackSection) -> corridor_units::Hours {
+    ActivityTimeline::for_section(&section, &params.timetable().passes()).total_active_hours()
+}
+
+/// Average mains power per km for `n` repeater nodes at inter-site
+/// distance `isd` under `strategy`.
+///
+/// Model (paper Section V-A):
+///
+/// * each high-power mast serves one ISD-long section, runs at full load
+///   while a train overlaps it and sleeps otherwise;
+/// * each service repeater serves a section of the node spacing
+///   (Table III: 200 m) around its mast;
+/// * donor repeaters (1 for a single service node, else 2) are active
+///   whenever the train is inside the segment they feed (ISD-long
+///   section);
+/// * under [`EnergyStrategy::ContinuousRepeaters`] repeaters idle at `P0`
+///   instead of sleeping; under
+///   [`EnergyStrategy::SolarPoweredRepeaters`] they draw no mains power.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::{energy, EnergyStrategy, ScenarioParams};
+/// use corridor_units::Meters;
+///
+/// let params = ScenarioParams::paper_default();
+/// let conventional = energy::conventional_baseline(&params);
+/// // the paper's conventional corridor: ≈ 467 Wh per hour per km
+/// assert!((conventional.total().value() - 467.0).abs() < 2.0);
+///
+/// let one_node = energy::average_power_per_km(
+///     &params, 1, Meters::new(1250.0), EnergyStrategy::SleepModeRepeaters);
+/// assert!(one_node.total() < conventional.total());
+/// ```
+pub fn average_power_per_km(
+    params: &ScenarioParams,
+    n: usize,
+    isd: Meters,
+    strategy: EnergyStrategy,
+) -> SegmentEnergy {
+    let inventory = SegmentInventory::for_nodes(n, isd);
+    let per_km = inventory.segments_per_km();
+
+    // High-power mast: full load while a train is in its ISD section,
+    // asleep otherwise (all strategies).
+    let hp_active = active_hours(params, TrackSection::new(Meters::ZERO, isd));
+    let hp_duty = corridor_power::DutyCycle::over_day(hp_active, corridor_units::Hours::ZERO);
+    let hp_avg = hp_duty.average_power(params.hp_mast());
+
+    // Service node: full load while a train is within its spacing-wide
+    // section.
+    let service_active = active_hours(
+        params,
+        TrackSection::around(isd / 2.0, params.lp_spacing()),
+    );
+    let service_duty =
+        corridor_power::DutyCycle::over_day(service_active, corridor_units::Hours::ZERO);
+
+    // Donor node: full load while a train is anywhere in the segment.
+    let donor_duty = corridor_power::DutyCycle::over_day(hp_active, corridor_units::Hours::ZERO);
+
+    let (service_avg, donor_avg) = match strategy {
+        EnergyStrategy::ContinuousRepeaters => (
+            service_duty.average_power_idle_fallback(params.lp_node()),
+            donor_duty.average_power_idle_fallback(params.lp_node()),
+        ),
+        EnergyStrategy::SleepModeRepeaters => (
+            service_duty.average_power(params.lp_node()),
+            donor_duty.average_power(params.lp_node()),
+        ),
+        EnergyStrategy::SolarPoweredRepeaters => (Watts::ZERO, Watts::ZERO),
+    };
+
+    SegmentEnergy {
+        hp: hp_avg * per_km,
+        service: service_avg * (inventory.service_nodes() as f64 * per_km),
+        donor: donor_avg * (inventory.donor_nodes() as f64 * per_km),
+    }
+}
+
+/// Average mains power of a whole line (all segments of `corridor`)
+/// under `strategy`, in watts.
+///
+/// Each segment contributes its per-km average scaled by its length, so
+/// heterogeneous lines (station throats at 500 m next to repeater
+/// stretches at 2400 m) are evaluated in one call.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::{energy, EnergyStrategy, ScenarioParams};
+/// use corridor_deploy::{Corridor, PlacementPolicy};
+/// use corridor_units::Meters;
+///
+/// let params = ScenarioParams::paper_default();
+/// let mut line = Corridor::new();
+/// line.push_conventional(Meters::new(500.0));
+/// line.push_with_repeaters(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())?;
+/// let power = energy::line_average_power(
+///     &params, &line, EnergyStrategy::SleepModeRepeaters);
+/// assert!(power.value() > 0.0);
+/// # Ok::<(), corridor_deploy::PlacementError>(())
+/// ```
+pub fn line_average_power(
+    params: &ScenarioParams,
+    corridor: &Corridor,
+    strategy: EnergyStrategy,
+) -> Watts {
+    corridor
+        .segments()
+        .iter()
+        .map(|segment| {
+            let per_km = average_power_per_km(
+                params,
+                segment.repeater_count(),
+                segment.isd(),
+                strategy,
+            );
+            per_km.total() * segment.isd().kilometers().value()
+        })
+        .sum()
+}
+
+/// Savings of a whole line versus building it conventionally (every
+/// segment at the conventional reference ISD).
+pub fn line_savings_vs_conventional(
+    params: &ScenarioParams,
+    corridor: &Corridor,
+    strategy: EnergyStrategy,
+) -> f64 {
+    let deployed = line_average_power(params, corridor, strategy);
+    let baseline =
+        conventional_baseline(params).total() * corridor.total_length().value();
+    1.0 - deployed / baseline
+}
+
+/// The conventional baseline: high-power masts every
+/// [`ScenarioParams::conventional_isd`], no repeaters, masts sleeping
+/// between trains.
+pub fn conventional_baseline(params: &ScenarioParams) -> SegmentEnergy {
+    average_power_per_km(
+        params,
+        0,
+        params.conventional_isd(),
+        EnergyStrategy::SleepModeRepeaters,
+    )
+}
+
+/// Savings of the `n`-node deployment (ISD from `table`) under `strategy`
+/// versus the conventional baseline, as a fraction in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `table` has no entry for `n`.
+pub fn savings_vs_conventional(
+    params: &ScenarioParams,
+    table: &IsdTable,
+    n: usize,
+    strategy: EnergyStrategy,
+) -> f64 {
+    let isd = table
+        .isd_for(n)
+        .unwrap_or_else(|| panic!("no ISD for {n} nodes in table"));
+    let deployment = average_power_per_km(params, n, isd, strategy);
+    deployment.savings_vs(&conventional_baseline(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ScenarioParams {
+        ScenarioParams::paper_default()
+    }
+
+    #[test]
+    fn conventional_baseline_value() {
+        // hand calculation: 2 masts/km, each 233.6 W average = 467 W/km
+        let base = conventional_baseline(&params());
+        assert!((base.total().value() - 467.1).abs() < 1.0, "{:?}", base);
+        assert_eq!(base.service, Watts::ZERO);
+        assert_eq!(base.donor, Watts::ZERO);
+    }
+
+    #[test]
+    fn paper_sleep_mode_savings() {
+        let table = IsdTable::paper();
+        // paper Section V-A: 57 % with one node, 74 % with ten
+        let one = savings_vs_conventional(
+            &params(),
+            &table,
+            1,
+            EnergyStrategy::SleepModeRepeaters,
+        );
+        assert!((one - 0.57).abs() < 0.01, "one node: {one}");
+        let ten = savings_vs_conventional(
+            &params(),
+            &table,
+            10,
+            EnergyStrategy::SleepModeRepeaters,
+        );
+        assert!((ten - 0.74).abs() < 0.01, "ten nodes: {ten}");
+    }
+
+    #[test]
+    fn paper_solar_savings() {
+        let table = IsdTable::paper();
+        // paper: 59 % with one node, 79 % with ten
+        let one = savings_vs_conventional(
+            &params(),
+            &table,
+            1,
+            EnergyStrategy::SolarPoweredRepeaters,
+        );
+        assert!((one - 0.59).abs() < 0.01, "one node: {one}");
+        let ten = savings_vs_conventional(
+            &params(),
+            &table,
+            10,
+            EnergyStrategy::SolarPoweredRepeaters,
+        );
+        assert!((ten - 0.79).abs() < 0.01, "ten nodes: {ten}");
+    }
+
+    #[test]
+    fn paper_continuous_crosses_half_at_three_nodes() {
+        let table = IsdTable::paper();
+        // paper: "at least three low-power repeater nodes ... below 50 %"
+        let two = savings_vs_conventional(
+            &params(),
+            &table,
+            2,
+            EnergyStrategy::ContinuousRepeaters,
+        );
+        let three = savings_vs_conventional(
+            &params(),
+            &table,
+            3,
+            EnergyStrategy::ContinuousRepeaters,
+        );
+        assert!(two < 0.5, "two nodes: {two}");
+        assert!(three > 0.5, "three nodes: {three}");
+    }
+
+    #[test]
+    fn strategy_ordering_everywhere() {
+        let table = IsdTable::paper();
+        for n in 1..=10 {
+            let isd = table.isd_for(n).unwrap();
+            let continuous =
+                average_power_per_km(&params(), n, isd, EnergyStrategy::ContinuousRepeaters);
+            let sleep =
+                average_power_per_km(&params(), n, isd, EnergyStrategy::SleepModeRepeaters);
+            let solar =
+                average_power_per_km(&params(), n, isd, EnergyStrategy::SolarPoweredRepeaters);
+            assert!(continuous.total() > sleep.total(), "n={n}");
+            assert!(sleep.total() > solar.total(), "n={n}");
+            // HP share identical across strategies
+            assert_eq!(continuous.hp, sleep.hp);
+            assert_eq!(sleep.hp, solar.hp);
+            assert_eq!(solar.service, Watts::ZERO);
+        }
+    }
+
+    #[test]
+    fn savings_increase_with_node_count_for_solar() {
+        let table = IsdTable::paper();
+        let mut last = 0.0;
+        for n in 1..=10 {
+            let s = savings_vs_conventional(
+                &params(),
+                &table,
+                n,
+                EnergyStrategy::SolarPoweredRepeaters,
+            );
+            assert!(s > last, "n={n}: {s} <= {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn segment_energy_helpers() {
+        let base = conventional_baseline(&params());
+        assert_eq!(
+            base.hourly_energy_per_km().value(),
+            base.total().value()
+        );
+        assert_eq!(base.savings_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn line_energy_matches_segment_sum() {
+        use corridor_deploy::{Corridor, PlacementPolicy};
+        let p = params();
+        let mut line = Corridor::new();
+        line.push_conventional(Meters::new(500.0));
+        line.push_with_repeaters(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+            .unwrap();
+        let total = line_average_power(&p, &line, EnergyStrategy::SleepModeRepeaters);
+        let manual = average_power_per_km(&p, 0, Meters::new(500.0), EnergyStrategy::SleepModeRepeaters)
+            .total()
+            * 0.5
+            + average_power_per_km(&p, 8, Meters::new(2400.0), EnergyStrategy::SleepModeRepeaters)
+                .total()
+                * 2.4;
+        assert!((total.value() - manual.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_line_savings_match_per_km() {
+        use corridor_deploy::{Corridor, PlacementPolicy};
+        let p = params();
+        let table = IsdTable::paper();
+        let isd = table.isd_for(8).unwrap();
+        let mut line = Corridor::new();
+        for _ in 0..5 {
+            line.push_with_repeaters(isd, 8, &PlacementPolicy::paper_default())
+                .unwrap();
+        }
+        let line_savings =
+            line_savings_vs_conventional(&p, &line, EnergyStrategy::SleepModeRepeaters);
+        let per_km = savings_vs_conventional(&p, &table, 8, EnergyStrategy::SleepModeRepeaters);
+        assert!((line_savings - per_km).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ISD for 11 nodes")]
+    fn missing_table_entry_panics() {
+        let _ = savings_vs_conventional(
+            &params(),
+            &IsdTable::paper(),
+            11,
+            EnergyStrategy::SleepModeRepeaters,
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Scenario parameters (paper Table III plus equipment and RF budget).
+
+use corridor_deploy::{LinkBudget, PlacementPolicy};
+use corridor_power::{catalog, LoadDependentPower};
+use corridor_traffic::{Timetable, Train};
+use corridor_units::Meters;
+
+/// Every parameter of the corridor energy study in one place, defaulting
+/// to the paper's Table III values:
+///
+/// | parameter | value |
+/// |---|---|
+/// | trains per hour | 8 |
+/// | hours per night without traffic | 5 h |
+/// | train length / speed | 400 m / 200 km/h |
+/// | LP repeater node spacing | 200 m |
+/// | HP mast power (full / sleep) | 560 W / 224 W |
+/// | LP node power (full / idle / sleep) | 28.4 W / 24.3 W / 4.7 W |
+/// | conventional reference ISD | 500 m |
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::ScenarioParams;
+/// let params = ScenarioParams::paper_default();
+/// assert_eq!(params.timetable().trains_per_day(), 152);
+/// assert_eq!(params.conventional_isd().value(), 500.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioParams {
+    timetable: Timetable,
+    lp_spacing: Meters,
+    conventional_isd: Meters,
+    hp_mast: LoadDependentPower,
+    lp_node: LoadDependentPower,
+    budget: LinkBudget,
+    placement: PlacementPolicy,
+}
+
+impl ScenarioParams {
+    /// The paper's scenario (see the type-level table).
+    pub fn paper_default() -> Self {
+        ScenarioParams {
+            timetable: Timetable::paper_default(),
+            lp_spacing: Meters::new(200.0),
+            conventional_isd: Meters::new(500.0),
+            hp_mast: catalog::high_power_mast(),
+            lp_node: catalog::low_power_repeater_measured(),
+            budget: LinkBudget::paper_default(),
+            placement: PlacementPolicy::paper_default(),
+        }
+    }
+
+    /// Overrides the timetable.
+    #[must_use]
+    pub fn with_timetable(mut self, timetable: Timetable) -> Self {
+        self.timetable = timetable;
+        self
+    }
+
+    /// Overrides the repeater node spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing` is not strictly positive.
+    #[must_use]
+    pub fn with_lp_spacing(mut self, spacing: Meters) -> Self {
+        assert!(spacing.value() > 0.0, "spacing must be positive");
+        self.lp_spacing = spacing;
+        self.placement = PlacementPolicy::FixedSpacing(spacing);
+        self
+    }
+
+    /// Overrides the conventional reference ISD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `isd` is not strictly positive.
+    #[must_use]
+    pub fn with_conventional_isd(mut self, isd: Meters) -> Self {
+        assert!(isd.value() > 0.0, "ISD must be positive");
+        self.conventional_isd = isd;
+        self
+    }
+
+    /// Overrides the high-power mast power model.
+    #[must_use]
+    pub fn with_hp_mast(mut self, model: LoadDependentPower) -> Self {
+        self.hp_mast = model;
+        self
+    }
+
+    /// Overrides the low-power repeater power model.
+    #[must_use]
+    pub fn with_lp_node(mut self, model: LoadDependentPower) -> Self {
+        self.lp_node = model;
+        self
+    }
+
+    /// Overrides the link budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: LinkBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The daily timetable.
+    pub fn timetable(&self) -> &Timetable {
+        &self.timetable
+    }
+
+    /// The rolling stock.
+    pub fn train(&self) -> Train {
+        self.timetable.train()
+    }
+
+    /// Repeater node spacing (Table III: 200 m).
+    pub fn lp_spacing(&self) -> Meters {
+        self.lp_spacing
+    }
+
+    /// The conventional reference ISD (500 m).
+    pub fn conventional_isd(&self) -> Meters {
+        self.conventional_isd
+    }
+
+    /// The high-power mast power model (two RRHs).
+    pub fn hp_mast(&self) -> &LoadDependentPower {
+        &self.hp_mast
+    }
+
+    /// The low-power repeater power model.
+    pub fn lp_node(&self) -> &LoadDependentPower {
+        &self.lp_node
+    }
+
+    /// The RF link budget.
+    pub fn budget(&self) -> &LinkBudget {
+        &self.budget
+    }
+
+    /// The repeater placement policy.
+    pub fn placement(&self) -> &PlacementPolicy {
+        &self.placement
+    }
+}
+
+impl Default for ScenarioParams {
+    /// Returns [`ScenarioParams::paper_default`].
+    fn default() -> Self {
+        ScenarioParams::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corridor_units::Watts;
+
+    #[test]
+    fn paper_defaults() {
+        let p = ScenarioParams::paper_default();
+        assert_eq!(p.timetable().trains_per_hour(), 8.0);
+        assert_eq!(p.lp_spacing(), Meters::new(200.0));
+        assert_eq!(p.conventional_isd(), Meters::new(500.0));
+        assert_eq!(p.hp_mast().full_load_power(), Watts::new(560.0));
+        assert!((p.lp_node().full_load_power().value() - 28.38).abs() < 1e-9);
+        assert_eq!(ScenarioParams::default(), p);
+    }
+
+    #[test]
+    fn builders() {
+        let p = ScenarioParams::paper_default()
+            .with_lp_spacing(Meters::new(150.0))
+            .with_conventional_isd(Meters::new(600.0));
+        assert_eq!(p.lp_spacing(), Meters::new(150.0));
+        assert_eq!(p.conventional_isd(), Meters::new(600.0));
+        assert_eq!(
+            p.placement(),
+            &PlacementPolicy::FixedSpacing(Meters::new(150.0))
+        );
+    }
+
+    #[test]
+    fn train_accessor() {
+        let p = ScenarioParams::paper_default();
+        assert_eq!(p.train().length(), Meters::new(400.0));
+    }
+}

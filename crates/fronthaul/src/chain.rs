@@ -1,0 +1,286 @@
+//! Feeding a whole segment: donors, hops and end-to-end checks.
+
+use core::fmt;
+
+use corridor_units::Meters;
+
+use crate::{FronthaulHop, MmWaveBand};
+
+/// The fronthaul of one corridor segment.
+///
+/// Two donor nodes sit at the high-power masts (positions `0` and `isd`),
+/// each feeding the service nodes on its half of the segment. Two
+/// topologies are supported:
+///
+/// * [`for_segment`](FronthaulChain::for_segment) — **daisy chain** (the
+///   prototype's architecture): the donor feeds the nearest node, which
+///   relays to the next, so every hop is short;
+/// * [`star_for_segment`](FronthaulChain::star_for_segment) — direct
+///   donor→node hops; simple, but the central nodes of a long segment
+///   need km-class hops, which V-band oxygen absorption kills (the
+///   evaluation shows exactly that).
+///
+/// # Examples
+///
+/// ```
+/// use corridor_fronthaul::{FronthaulChain, MmWaveBand};
+/// use corridor_units::Meters;
+///
+/// // the paper's Fig. 3 geometry: 8 nodes at 200 m spacing in 2400 m
+/// let positions: Vec<Meters> = (0..8).map(|i| Meters::new(500.0 + 200.0 * i as f64)).collect();
+/// let daisy = FronthaulChain::for_segment(
+///     MmWaveBand::v_band_60ghz(), &positions, Meters::new(2400.0));
+/// assert!(daisy.evaluate().is_feasible());
+///
+/// // a star of direct hops does NOT close on V-band at this ISD
+/// let star = FronthaulChain::star_for_segment(
+///     MmWaveBand::v_band_60ghz(), &positions, Meters::new(2400.0));
+/// assert!(!star.evaluate().is_feasible());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FronthaulChain {
+    hops: Vec<FronthaulHop>,
+}
+
+impl FronthaulChain {
+    fn validate(positions: &[Meters], isd: Meters) {
+        for &pos in positions {
+            assert!(
+                pos.value() > 0.0 && pos < isd,
+                "service node at {pos} outside segment (0, {isd})"
+            );
+        }
+    }
+
+    /// Splits node positions by their feeding mast (nearest wins; ties go
+    /// left) and returns (left-side sorted ascending, right-side sorted
+    /// descending — i.e. in hop order from each donor).
+    fn split_sides(positions: &[Meters], isd: Meters) -> (Vec<Meters>, Vec<Meters>) {
+        let mut left: Vec<Meters> = positions
+            .iter()
+            .copied()
+            .filter(|p| *p <= isd / 2.0)
+            .collect();
+        let mut right: Vec<Meters> = positions
+            .iter()
+            .copied()
+            .filter(|p| *p > isd / 2.0)
+            .collect();
+        left.sort_by(|a, b| a.partial_cmp(b).expect("positions are never NaN"));
+        right.sort_by(|a, b| b.partial_cmp(a).expect("positions are never NaN"));
+        (left, right)
+    }
+
+    /// Builds the daisy-chain fronthaul (the prototype architecture):
+    /// each donor feeds its nearest node, and each node relays onward, so
+    /// hop lengths equal the node gaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position lies outside the open segment.
+    pub fn for_segment(band: MmWaveBand, positions: &[Meters], isd: Meters) -> Self {
+        Self::validate(positions, isd);
+        let (left, right) = Self::split_sides(positions, isd);
+        let mut hops = Vec::with_capacity(positions.len());
+        let mut previous = Meters::ZERO;
+        for &pos in &left {
+            hops.push(FronthaulHop::new(band, pos.distance_to(previous)));
+            previous = pos;
+        }
+        previous = isd;
+        for &pos in &right {
+            hops.push(FronthaulHop::new(band, pos.distance_to(previous)));
+            previous = pos;
+        }
+        FronthaulChain { hops }
+    }
+
+    /// Builds a star fronthaul: every node is fed by a direct hop from
+    /// the nearer mast's donor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position lies outside the open segment.
+    pub fn star_for_segment(band: MmWaveBand, positions: &[Meters], isd: Meters) -> Self {
+        Self::validate(positions, isd);
+        let hops = positions
+            .iter()
+            .map(|&pos| FronthaulHop::new(band, pos.min(isd - pos)))
+            .collect();
+        FronthaulChain { hops }
+    }
+
+    /// Builds a chain from explicit hops.
+    pub fn from_hops(hops: Vec<FronthaulHop>) -> Self {
+        FronthaulChain { hops }
+    }
+
+    /// The hops, in feeding order (left donor outward, then right donor
+    /// outward for the daisy topology).
+    pub fn hops(&self) -> &[FronthaulHop] {
+        &self.hops
+    }
+
+    /// Evaluates every hop.
+    pub fn evaluate(&self) -> ChainReport {
+        let margins: Vec<f64> = self
+            .hops
+            .iter()
+            .map(|h| h.clear_sky_margin().value())
+            .collect();
+        let worst_margin = margins.iter().copied().fold(f64::INFINITY, f64::min);
+        let availability = self
+            .hops
+            .iter()
+            .map(FronthaulHop::rain_availability)
+            .fold(1.0, |acc, a| acc * a);
+        ChainReport {
+            hop_count: self.hops.len(),
+            worst_margin_db: if self.hops.is_empty() {
+                0.0
+            } else {
+                worst_margin
+            },
+            availability,
+        }
+    }
+}
+
+/// The evaluation of a segment's fronthaul.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChainReport {
+    /// Number of hops (served nodes).
+    pub hop_count: usize,
+    /// The smallest clear-sky margin across hops, dB.
+    pub worst_margin_db: f64,
+    /// Joint rain availability (independent-hop approximation).
+    pub availability: f64,
+}
+
+impl ChainReport {
+    /// True if every hop closes its budget under clear sky.
+    pub fn is_feasible(&self) -> bool {
+        self.hop_count > 0 && self.worst_margin_db > 0.0
+    }
+}
+
+impl fmt::Display for ChainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hop(s), worst margin {:.1} dB, availability {:.4} %",
+            self.hop_count,
+            self.worst_margin_db,
+            self.availability * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_positions() -> Vec<Meters> {
+        (0..8).map(|i| Meters::new(500.0 + 200.0 * i as f64)).collect()
+    }
+
+    #[test]
+    fn fig3_daisy_chain_is_feasible() {
+        let chain = FronthaulChain::for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &fig3_positions(),
+            Meters::new(2400.0),
+        );
+        let report = chain.evaluate();
+        assert!(report.is_feasible(), "{report}");
+        assert_eq!(report.hop_count, 8);
+        assert!(report.availability > 0.99);
+    }
+
+    #[test]
+    fn fig3_star_dies_on_vband_oxygen() {
+        let star = FronthaulChain::star_for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &fig3_positions(),
+            Meters::new(2400.0),
+        );
+        assert!(!star.evaluate().is_feasible());
+        // ...but the short hops still close: only the central ones fail
+        let feasible_hops = star
+            .hops()
+            .iter()
+            .filter(|h| h.clear_sky_margin().value() > 0.0)
+            .count();
+        assert!(feasible_hops >= 2 && feasible_hops < 8);
+    }
+
+    #[test]
+    fn daisy_hop_lengths_are_gaps() {
+        let chain = FronthaulChain::for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &fig3_positions(),
+            Meters::new(2400.0),
+        );
+        let lengths: Vec<f64> = chain.hops().iter().map(|h| h.distance().value()).collect();
+        // left donor: 500 m to the first node, then 200 m gaps; mirrored
+        // on the right side
+        assert_eq!(lengths, vec![500.0, 200.0, 200.0, 200.0, 500.0, 200.0, 200.0, 200.0]);
+    }
+
+    #[test]
+    fn star_nodes_fed_by_nearer_mast() {
+        let star = FronthaulChain::star_for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &fig3_positions(),
+            Meters::new(2400.0),
+        );
+        let longest = star
+            .hops()
+            .iter()
+            .map(|h| h.distance().value())
+            .fold(0.0, f64::max);
+        assert_eq!(longest, 1100.0);
+    }
+
+    #[test]
+    fn eband_star_closes_where_vband_fails() {
+        let positions = fig3_positions();
+        let isd = Meters::new(2400.0);
+        let v = FronthaulChain::star_for_segment(MmWaveBand::v_band_60ghz(), &positions, isd);
+        let e = FronthaulChain::star_for_segment(MmWaveBand::e_band_80ghz(), &positions, isd);
+        assert!(!v.evaluate().is_feasible());
+        assert!(e.evaluate().is_feasible());
+    }
+
+    #[test]
+    fn empty_chain_not_feasible() {
+        let chain = FronthaulChain::from_hops(Vec::new());
+        let report = chain.evaluate();
+        assert!(!report.is_feasible());
+        assert_eq!(report.hop_count, 0);
+    }
+
+    #[test]
+    fn single_node_daisy() {
+        let chain = FronthaulChain::for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &[Meters::new(625.0)],
+            Meters::new(1250.0),
+        );
+        assert_eq!(chain.hops().len(), 1);
+        assert_eq!(chain.hops()[0].distance(), Meters::new(625.0));
+        assert!(chain.evaluate().to_string().contains("1 hop(s)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn out_of_segment_node_rejected() {
+        let _ = FronthaulChain::for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &[Meters::new(3000.0)],
+            Meters::new(2400.0),
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Uplink budget along the corridor.
+//!
+//! The paper treats the uplink "similarly, but in the reverse direction":
+//! the distributed receive ports (the high-power masts' antennas and the
+//! repeaters' service antennas, whose uplink chains forward to the donor)
+//! all collect the terminal's transmission through the *same* calibrated
+//! port-to-port attenuations as the downlink, and the cell combines them.
+//!
+//! [`UplinkBudget`] evaluates the resulting uplink SNR at any track
+//! position by reciprocity over an existing downlink [`SnrModel`]:
+//! each source position becomes a receive port, the UE's per-subcarrier
+//! EIRP replaces the port powers, and the noise budget uses the base
+//! station / repeater-chain noise figure.
+
+use corridor_propagation::PathLoss;
+use corridor_units::{sum_power_dbm, Db, Dbm, Meters};
+
+use crate::{NrCarrier, SnrModel};
+
+/// Uplink link budget over a corridor deployment.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_link::{NrCarrier, SignalSource, SnrModel, UplinkBudget};
+/// use corridor_propagation::CalibratedFriis;
+/// use corridor_units::{Db, Dbm, Hertz, Meters};
+///
+/// let hp = CalibratedFriis::new(Hertz::from_ghz(3.5), Db::new(33.0));
+/// let model = SnrModel::new(NrCarrier::paper_100mhz())
+///     .with_source(SignalSource::new(Meters::ZERO, Dbm::new(28.8), hp))
+///     .with_source(SignalSource::new(Meters::new(500.0), Dbm::new(28.8), hp));
+/// let uplink = UplinkBudget::paper_default();
+/// let snr = uplink.snr_at(&model, Meters::new(250.0)).unwrap();
+/// assert!(snr.value() > -10.0); // uplink alive mid-cell
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UplinkBudget {
+    ue_eirp: Dbm,
+    allocated_subcarriers: u32,
+    receiver_noise_figure: Db,
+}
+
+impl UplinkBudget {
+    /// A power-class-3 terminal: 23 dBm total, spread over a 20 MHz
+    /// uplink allocation (660 subcarriers), received through a 5 dB base
+    /// station / repeater-chain noise figure.
+    pub fn paper_default() -> Self {
+        UplinkBudget {
+            ue_eirp: Dbm::new(23.0),
+            allocated_subcarriers: 660,
+            receiver_noise_figure: Db::new(5.0),
+        }
+    }
+
+    /// A budget with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allocated_subcarriers` is zero.
+    pub fn new(ue_eirp: Dbm, allocated_subcarriers: u32, receiver_noise_figure: Db) -> Self {
+        assert!(
+            allocated_subcarriers > 0,
+            "allocation needs at least one subcarrier"
+        );
+        UplinkBudget {
+            ue_eirp,
+            allocated_subcarriers,
+            receiver_noise_figure,
+        }
+    }
+
+    /// The terminal's total transmit power.
+    pub fn ue_eirp(&self) -> Dbm {
+        self.ue_eirp
+    }
+
+    /// Subcarriers in the uplink allocation.
+    pub fn allocated_subcarriers(&self) -> u32 {
+        self.allocated_subcarriers
+    }
+
+    /// Receive-chain noise figure.
+    pub fn receiver_noise_figure(&self) -> Db {
+        self.receiver_noise_figure
+    }
+
+    /// The terminal's per-subcarrier transmit power.
+    pub fn ue_rstp(&self) -> Dbm {
+        let carrier = NrCarrier::new(
+            corridor_units::Hertz::from_khz(30.0) * f64::from(self.allocated_subcarriers),
+            self.allocated_subcarriers,
+        );
+        carrier.per_subcarrier(self.ue_eirp)
+    }
+
+    /// Uplink SNR at track position `at`, combining every receive port of
+    /// `model` by reciprocity. Returns `None` if the model has no
+    /// sources.
+    pub fn snr_at<M: PathLoss>(&self, model: &SnrModel<M>, at: Meters) -> Option<Db> {
+        let rstp = self.ue_rstp();
+        let received = sum_power_dbm(
+            model
+                .sources()
+                .iter()
+                .map(|s| rstp - s.attenuation_to(at)),
+        )?;
+        let noise = model.noise_floor() + self.receiver_noise_figure;
+        Some(received - noise)
+    }
+
+    /// The uplink's worst SNR over `[0, length]` sampled at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not strictly positive.
+    pub fn min_snr<M: PathLoss>(
+        &self,
+        model: &SnrModel<M>,
+        length: Meters,
+        step: Meters,
+    ) -> Option<Db> {
+        assert!(step.value() > 0.0, "step must be positive");
+        let n = (length.value() / step.value()).round() as usize;
+        (0..=n)
+            .filter_map(|i| self.snr_at(model, Meters::new(i as f64 * step.value()).min(length)))
+            .min_by(|a, b| a.partial_cmp(b).expect("SNR is never NaN"))
+    }
+}
+
+impl Default for UplinkBudget {
+    /// Returns [`UplinkBudget::paper_default`].
+    fn default() -> Self {
+        UplinkBudget::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalSource;
+    use corridor_propagation::CalibratedFriis;
+    use corridor_units::Hertz;
+
+    fn downlink(isd: f64, nodes: usize) -> SnrModel<CalibratedFriis> {
+        let hp = CalibratedFriis::new(Hertz::from_ghz(3.5), Db::new(33.0));
+        let lp = CalibratedFriis::new(Hertz::from_ghz(3.5), Db::new(20.0));
+        let mut model = SnrModel::new(NrCarrier::paper_100mhz())
+            .with_source(SignalSource::new(Meters::ZERO, Dbm::new(28.81), hp))
+            .with_source(SignalSource::new(Meters::new(isd), Dbm::new(28.81), hp));
+        let spacing = 200.0;
+        let first = (isd - spacing * (nodes.saturating_sub(1)) as f64) / 2.0;
+        for i in 0..nodes {
+            model.add_source(SignalSource::new(
+                Meters::new(first + spacing * i as f64),
+                Dbm::new(4.81),
+                lp,
+            ));
+        }
+        model
+    }
+
+    #[test]
+    fn ue_rstp_value() {
+        let b = UplinkBudget::paper_default();
+        // 23 dBm over 660 subcarriers: 23 - 28.2 = -5.2 dBm
+        assert!((b.ue_rstp().value() - (-5.2)).abs() < 0.05);
+    }
+
+    #[test]
+    fn repeaters_lift_the_uplink_too() {
+        let bare = downlink(2400.0, 0);
+        let with_nodes = downlink(2400.0, 8);
+        let budget = UplinkBudget::paper_default();
+        let mid = Meters::new(700.0);
+        let snr_bare = budget.snr_at(&bare, mid).unwrap();
+        let snr_nodes = budget.snr_at(&with_nodes, mid).unwrap();
+        assert!(snr_nodes > snr_bare + Db::new(3.0));
+    }
+
+    #[test]
+    fn uplink_weaker_than_downlink() {
+        // the UE transmits 41 dB less than the macro: uplink SNR trails
+        // downlink SNR everywhere
+        let model = downlink(500.0, 0);
+        let budget = UplinkBudget::paper_default();
+        let at = Meters::new(250.0);
+        let ul = budget.snr_at(&model, at).unwrap();
+        let dl = model.snr_at(at).unwrap();
+        assert!(ul < dl);
+    }
+
+    #[test]
+    fn min_snr_is_lower_bound() {
+        let model = downlink(2400.0, 8);
+        let budget = UplinkBudget::paper_default();
+        let min = budget
+            .min_snr(&model, Meters::new(2400.0), Meters::new(10.0))
+            .unwrap();
+        for pos in [0.0, 700.0, 1200.0, 2399.0] {
+            let snr = budget.snr_at(&model, Meters::new(pos)).unwrap();
+            assert!(snr >= min, "at {pos}");
+        }
+    }
+
+    #[test]
+    fn empty_model_yields_none() {
+        let empty: SnrModel<CalibratedFriis> = SnrModel::new(NrCarrier::paper_100mhz());
+        let budget = UplinkBudget::paper_default();
+        assert_eq!(budget.snr_at(&empty, Meters::ZERO), None);
+        assert_eq!(budget.min_snr(&empty, Meters::new(100.0), Meters::new(10.0)), None);
+    }
+
+    #[test]
+    fn accessors_and_default() {
+        let b = UplinkBudget::default();
+        assert_eq!(b.ue_eirp(), Dbm::new(23.0));
+        assert_eq!(b.allocated_subcarriers(), 660);
+        assert_eq!(b.receiver_noise_figure(), Db::new(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subcarrier")]
+    fn zero_allocation_rejected() {
+        let _ = UplinkBudget::new(Dbm::new(23.0), 0, Db::new(5.0));
+    }
+}

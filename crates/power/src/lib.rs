@@ -1,0 +1,48 @@
+//! EARTH load-dependent power models and equipment catalogs.
+//!
+//! Cellular infrastructure power consumption is modelled with the
+//! parameterized linear model of the EU FP7 EARTH project (paper eq. (3)):
+//!
+//! ```text
+//! P_in = P0 + Δp · Pmax · χ     for load χ ∈ (0, 1]
+//!      = P_sleep                for χ = 0 (sleep mode)
+//! ```
+//!
+//! * [`LoadDependentPower`] — the model itself, with [`OperatingState`]
+//!   distinguishing *sleep* from *idle* (awake, no traffic, `P0`) and
+//!   *active* (traffic at load χ);
+//! * [`catalog`] — the paper's Table II parameter sets for the high-power
+//!   RRH and the low-power repeater node;
+//! * [`RepeaterBill`] — the component-level breakdown of the repeater
+//!   prototype (paper Table I);
+//! * [`DutyCycle`] — time-weighted average power and daily energy for a
+//!   node that switches between states as trains pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use corridor_power::{catalog, DutyCycle, OperatingState};
+//! use corridor_units::Hours;
+//!
+//! let repeater = catalog::low_power_repeater();
+//! // full-load: P0 + Δp·Pmax = 24.26 + 4.0·1.0 = 28.26 W (paper rounds 28.38)
+//! let full = repeater.input_power(OperatingState::full_load());
+//! assert!((full.value() - 28.26).abs() < 1e-9);
+//!
+//! // a repeater active 0.456 h/day and asleep otherwise:
+//! let duty = DutyCycle::over_day(Hours::new(0.456), Hours::ZERO);
+//! let daily = duty.daily_energy(&repeater);
+//! assert!((daily.value() - 124.0).abs() < 1.0); // paper: 124.1 Wh/day
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod components;
+mod duty;
+mod model;
+
+pub use components::{ComponentRole, RepeaterBill, RepeaterComponent};
+pub use duty::{DutyCycle, DutyCycleError};
+pub use model::{LoadDependentPower, OperatingState};

@@ -1,0 +1,89 @@
+//! Property-based tests for the EARTH power model.
+
+use corridor_power::{catalog, DutyCycle, LoadDependentPower, OperatingState};
+use corridor_units::{Hours, LoadFraction, Watts};
+use proptest::prelude::*;
+
+fn model() -> impl Strategy<Value = LoadDependentPower> {
+    (0.1..100.0f64, 1.0..500.0f64, 0.0..10.0f64, 0.0..200.0f64).prop_map(
+        |(pmax, p0, dp, psleep)| {
+            LoadDependentPower::new(
+                Watts::new(pmax),
+                Watts::new(p0),
+                dp,
+                Watts::new(psleep.min(p0)),
+            )
+        },
+    )
+}
+
+proptest! {
+    /// Input power is monotone in load.
+    #[test]
+    fn power_monotone_in_load(m in model(), a in 0.0..1.0f64, b in 0.0..1.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p_lo = m.input_power(OperatingState::Active(LoadFraction::new(lo).unwrap()));
+        let p_hi = m.input_power(OperatingState::Active(LoadFraction::new(hi).unwrap()));
+        prop_assert!(p_hi >= p_lo);
+    }
+
+    /// Sleep consumes no more than idle, idle no more than any active load.
+    #[test]
+    fn state_ordering(m in model(), load in 0.0..1.0f64) {
+        let sleep = m.input_power(OperatingState::Sleep);
+        let idle = m.input_power(OperatingState::Idle);
+        let active = m.input_power(OperatingState::Active(LoadFraction::new(load).unwrap()));
+        prop_assert!(sleep <= idle);
+        prop_assert!(idle <= active);
+    }
+
+    /// The model is exactly linear: P(χ) = P0 + χ·(Pfull − P0).
+    #[test]
+    fn linearity(m in model(), load in 0.0..1.0f64) {
+        let p = m.input_power(OperatingState::Active(LoadFraction::new(load).unwrap())).value();
+        let expected = m.p0().value() + load * (m.full_load_power().value() - m.p0().value());
+        prop_assert!((p - expected).abs() < 1e-9);
+    }
+
+    /// Scaling by n multiplies every state's power by n.
+    #[test]
+    fn scaling_scales_all_states(m in model(), n in 0.0..8.0f64, load in 0.0..1.0f64) {
+        let scaled = m.scaled(n);
+        let states = [
+            OperatingState::Sleep,
+            OperatingState::Idle,
+            OperatingState::Active(LoadFraction::new(load).unwrap()),
+        ];
+        for s in states {
+            let expected = m.input_power(s).value() * n;
+            prop_assert!((scaled.input_power(s).value() - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Average power is bounded by the sleep and full-load powers.
+    #[test]
+    fn duty_average_bounded(m in model(), active_h in 0.0..24.0f64, idle_frac in 0.0..1.0f64) {
+        let idle_h = (24.0 - active_h) * idle_frac;
+        let duty = DutyCycle::over_day(Hours::new(active_h), Hours::new(idle_h));
+        let avg = duty.average_power(&m);
+        prop_assert!(avg >= m.input_power(OperatingState::Sleep) - Watts::new(1e-9));
+        prop_assert!(avg <= m.full_load_power() + Watts::new(1e-9));
+    }
+
+    /// Energy with an idle fallback is never below energy with sleep.
+    #[test]
+    fn idle_fallback_never_cheaper(m in model(), active_h in 0.0..24.0f64) {
+        let duty = DutyCycle::over_day(Hours::new(active_h), Hours::ZERO);
+        prop_assert!(duty.average_power_idle_fallback(&m) >= duty.average_power(&m));
+    }
+
+    /// Daily energy equals average power times 24 h.
+    #[test]
+    fn daily_energy_consistent(active_h in 0.0..24.0f64) {
+        let m = catalog::low_power_repeater_measured();
+        let duty = DutyCycle::over_day(Hours::new(active_h), Hours::ZERO);
+        let daily = duty.daily_energy(&m).value();
+        let from_avg = duty.average_power(&m).value() * 24.0;
+        prop_assert!((daily - from_avg).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Simple antenna directivity patterns.
+
+use corridor_units::Db;
+
+/// An azimuth-plane antenna gain pattern.
+///
+/// Corridor masts carry two cross-polarized pencil-beam antennas mounted
+/// back-to-back along the track. For the 1-D corridor geometry all that
+/// matters is the boresight gain and how quickly it falls off away from the
+/// track axis; the widely used 3GPP parabolic pattern
+/// `G(θ) = G0 − min(12·(θ/θ_3dB)^2, A_max)` captures this.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_propagation::AntennaPattern;
+/// use corridor_units::Db;
+///
+/// let pencil = AntennaPattern::pencil_beam(Db::new(17.0), 10.0);
+/// assert_eq!(pencil.gain_at(0.0), Db::new(17.0));
+/// // at the 3 dB point the gain is down by exactly 3 dB
+/// assert!((pencil.gain_at(5.0).value() - 14.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AntennaPattern {
+    boresight_gain: Db,
+    beamwidth_deg: f64,
+    front_to_back: Db,
+}
+
+impl AntennaPattern {
+    /// An isotropic radiator (0 dBi everywhere).
+    pub fn isotropic() -> Self {
+        AntennaPattern {
+            boresight_gain: Db::ZERO,
+            beamwidth_deg: f64::INFINITY,
+            front_to_back: Db::ZERO,
+        }
+    }
+
+    /// A pencil-beam antenna with the given boresight gain and full 3 dB
+    /// beamwidth in degrees, using the 3GPP parabolic roll-off with a 25 dB
+    /// front-to-back floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beamwidth_deg` is not strictly positive.
+    pub fn pencil_beam(boresight_gain: Db, beamwidth_deg: f64) -> Self {
+        assert!(beamwidth_deg > 0.0, "beamwidth must be positive");
+        AntennaPattern {
+            boresight_gain,
+            beamwidth_deg,
+            front_to_back: Db::new(25.0),
+        }
+    }
+
+    /// Overrides the front-to-back attenuation floor `A_max`.
+    #[must_use]
+    pub fn with_front_to_back(mut self, front_to_back: Db) -> Self {
+        self.front_to_back = front_to_back;
+        self
+    }
+
+    /// Boresight gain `G0`.
+    pub fn boresight_gain(&self) -> Db {
+        self.boresight_gain
+    }
+
+    /// Full 3 dB beamwidth, degrees.
+    pub fn beamwidth_deg(&self) -> f64 {
+        self.beamwidth_deg
+    }
+
+    /// Gain at `angle_deg` off boresight.
+    pub fn gain_at(&self, angle_deg: f64) -> Db {
+        if self.beamwidth_deg.is_infinite() {
+            return self.boresight_gain;
+        }
+        let half = self.beamwidth_deg / 2.0;
+        let rolloff = 3.0 * (angle_deg / half).powi(2);
+        self.boresight_gain - Db::new(rolloff.min(self.front_to_back.value()))
+    }
+}
+
+impl Default for AntennaPattern {
+    /// Returns [`AntennaPattern::isotropic`].
+    fn default() -> Self {
+        AntennaPattern::isotropic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isotropic_is_flat() {
+        let iso = AntennaPattern::isotropic();
+        for a in [0.0, 30.0, 90.0, 180.0] {
+            assert_eq!(iso.gain_at(a), Db::ZERO);
+        }
+        assert_eq!(AntennaPattern::default(), iso);
+    }
+
+    #[test]
+    fn boresight_and_3db_point() {
+        let p = AntennaPattern::pencil_beam(Db::new(20.0), 8.0);
+        assert_eq!(p.gain_at(0.0), Db::new(20.0));
+        assert!((p.gain_at(4.0).value() - 17.0).abs() < 1e-9);
+        assert!((p.gain_at(-4.0).value() - 17.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rolloff_is_floored() {
+        let p = AntennaPattern::pencil_beam(Db::new(17.0), 10.0);
+        // far off axis, gain bottoms out at G0 - 25 dB
+        assert_eq!(p.gain_at(180.0), Db::new(17.0 - 25.0));
+        let custom = p.with_front_to_back(Db::new(30.0));
+        assert_eq!(custom.gain_at(180.0), Db::new(17.0 - 30.0));
+    }
+
+    #[test]
+    fn gain_monotone_until_floor() {
+        let p = AntennaPattern::pencil_beam(Db::new(17.0), 10.0);
+        let mut last = p.gain_at(0.0);
+        for step in 1..=30 {
+            let g = p.gain_at(step as f64);
+            assert!(g <= last, "gain increased at {step}°");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = AntennaPattern::pencil_beam(Db::new(17.0), 10.0);
+        assert_eq!(p.boresight_gain(), Db::new(17.0));
+        assert_eq!(p.beamwidth_deg(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beamwidth must be positive")]
+    fn zero_beamwidth_rejected() {
+        let _ = AntennaPattern::pencil_beam(Db::ZERO, 0.0);
+    }
+}

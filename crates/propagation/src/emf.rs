@@ -1,0 +1,201 @@
+//! Electromagnetic-field (EMF) exposure compliance.
+//!
+//! The paper's premise rests on regulation: several countries (the paper
+//! names Canada, Italy, Poland, Switzerland, China, Russia) enforce EMF
+//! installation limits far below the ICNIRP reference levels, which caps
+//! per-site EIRP and forces the short inter-site distances that make
+//! corridors expensive. This module quantifies that: far-field power
+//! density versus distance and the minimum compliance distance per limit.
+//!
+//! The numbers also explain why the low-power repeater nodes are easy to
+//! deploy: at 40 dBm EIRP their strictest-limit compliance distance is a
+//! few metres, versus tens of metres for a 64 dBm macro antenna.
+
+use core::fmt;
+
+use corridor_units::{Dbm, Meters};
+
+/// An EMF exposure limit expressed as a plane-wave power density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EmfLimit {
+    name: &'static str,
+    power_density_w_m2: f64,
+}
+
+impl EmfLimit {
+    /// ICNIRP (2020) general-public reference level for frequencies above
+    /// 2 GHz: 10 W/m².
+    pub fn icnirp_general_public() -> Self {
+        EmfLimit {
+            name: "ICNIRP general public",
+            power_density_w_m2: 10.0,
+        }
+    }
+
+    /// Switzerland's NISV installation limit for sensitive-use locations:
+    /// 6 V/m field strength ≈ 0.095 W/m² (E²/377 Ω).
+    pub fn swiss_nisv_installation() -> Self {
+        EmfLimit {
+            name: "Swiss NISV installation limit",
+            power_density_w_m2: 6.0 * 6.0 / 377.0,
+        }
+    }
+
+    /// A custom limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the density is not strictly positive.
+    pub fn new(name: &'static str, power_density_w_m2: f64) -> Self {
+        assert!(power_density_w_m2 > 0.0, "limit must be positive");
+        EmfLimit {
+            name,
+            power_density_w_m2,
+        }
+    }
+
+    /// Limit name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The limit as a power density, W/m².
+    pub fn power_density_w_m2(&self) -> f64 {
+        self.power_density_w_m2
+    }
+
+    /// The equivalent plane-wave field strength, V/m.
+    pub fn field_strength_v_m(&self) -> f64 {
+        (self.power_density_w_m2 * 377.0).sqrt()
+    }
+}
+
+impl fmt::Display for EmfLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.3} W/m² ≈ {:.1} V/m)",
+            self.name,
+            self.power_density_w_m2,
+            self.field_strength_v_m()
+        )
+    }
+}
+
+/// Far-field power density `S = EIRP / (4π d²)` on boresight at
+/// `distance` from an antenna radiating `eirp`.
+///
+/// # Panics
+///
+/// Panics if `distance` is not strictly positive.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_propagation::emf;
+/// use corridor_units::{Dbm, Meters};
+///
+/// // 2500 W EIRP at 10 m: ~2 W/m²
+/// let s = emf::power_density_w_m2(Dbm::new(64.0), Meters::new(10.0));
+/// assert!((s - 2.0).abs() < 0.05);
+/// ```
+pub fn power_density_w_m2(eirp: Dbm, distance: Meters) -> f64 {
+    assert!(distance.value() > 0.0, "distance must be positive");
+    let eirp_w = eirp.watts().value();
+    eirp_w / (4.0 * std::f64::consts::PI * distance.value() * distance.value())
+}
+
+/// Minimum boresight distance at which `eirp` complies with `limit`:
+/// `d = sqrt(EIRP / (4π S_limit))`.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_propagation::emf::{self, EmfLimit};
+/// use corridor_units::Dbm;
+///
+/// let nisv = EmfLimit::swiss_nisv_installation();
+/// // the low-power repeater (40 dBm) is compliant within a few metres
+/// let d = emf::compliance_distance(Dbm::new(40.0), &nisv);
+/// assert!(d.value() < 4.0);
+/// ```
+pub fn compliance_distance(eirp: Dbm, limit: &EmfLimit) -> Meters {
+    let eirp_w = eirp.watts().value();
+    Meters::new((eirp_w / (4.0 * std::f64::consts::PI * limit.power_density_w_m2())).sqrt())
+}
+
+/// True if `eirp` observed at `distance` satisfies `limit`.
+pub fn is_compliant(eirp: Dbm, distance: Meters, limit: &EmfLimit) -> bool {
+    power_density_w_m2(eirp, distance) <= limit.power_density_w_m2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_square_law() {
+        let eirp = Dbm::new(64.0);
+        let near = power_density_w_m2(eirp, Meters::new(10.0));
+        let far = power_density_w_m2(eirp, Meters::new(20.0));
+        assert!((near / far - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hp_compliance_distances() {
+        let eirp = Dbm::new(64.0); // 2500 W
+        let icnirp = compliance_distance(eirp, &EmfLimit::icnirp_general_public());
+        assert!((icnirp.value() - 4.46).abs() < 0.05, "{icnirp}");
+        let nisv = compliance_distance(eirp, &EmfLimit::swiss_nisv_installation());
+        assert!((nisv.value() - 45.7).abs() < 0.5, "{nisv}");
+    }
+
+    #[test]
+    fn lp_nodes_are_emf_trivial() {
+        let lp = Dbm::new(40.0); // 10 W
+        let nisv = compliance_distance(lp, &EmfLimit::swiss_nisv_installation());
+        assert!(nisv.value() < 3.0, "{nisv}");
+        // 250x EIRP ratio -> ~16x distance ratio
+        let hp = compliance_distance(Dbm::new(64.0), &EmfLimit::swiss_nisv_installation());
+        let ratio = hp / nisv;
+        assert!((ratio - (10f64.powf(24.0 / 20.0))).abs() < 0.1);
+    }
+
+    #[test]
+    fn compliance_predicate_consistent_with_distance() {
+        let limit = EmfLimit::swiss_nisv_installation();
+        let eirp = Dbm::new(64.0);
+        let d = compliance_distance(eirp, &limit);
+        assert!(is_compliant(eirp, d + Meters::new(0.1), &limit));
+        assert!(!is_compliant(eirp, d - Meters::new(0.1), &limit));
+    }
+
+    #[test]
+    fn limit_conversions() {
+        let nisv = EmfLimit::swiss_nisv_installation();
+        assert!((nisv.field_strength_v_m() - 6.0).abs() < 1e-9);
+        let icnirp = EmfLimit::icnirp_general_public();
+        assert!((icnirp.field_strength_v_m() - 61.4).abs() < 0.1);
+        assert!(icnirp.power_density_w_m2() > nisv.power_density_w_m2() * 100.0);
+    }
+
+    #[test]
+    fn display() {
+        let s = EmfLimit::swiss_nisv_installation().to_string();
+        assert!(s.contains("NISV"));
+        assert!(s.contains("6.0 V/m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_limit_rejected() {
+        let _ = EmfLimit::new("bad", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_rejected() {
+        let _ = power_density_w_m2(Dbm::new(40.0), Meters::ZERO);
+    }
+}

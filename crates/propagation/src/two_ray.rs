@@ -1,0 +1,159 @@
+//! Two-ray ground-reflection path loss baseline.
+
+use corridor_units::{Db, Hertz, Meters};
+
+use crate::{FreeSpace, PathLoss};
+
+/// Two-ray ground-reflection model.
+///
+/// Below the crossover distance `d_c = 4π·h_t·h_r/λ` the model follows free
+/// space; beyond it the direct and ground-reflected rays interfere
+/// destructively and the loss grows as `40·log10(d)` independent of
+/// frequency: `L = d^4 / (h_t^2 · h_r^2)`.
+///
+/// Along a railway corridor the mast (≈15 m) and train antenna (≈3 m)
+/// heights put the crossover at several kilometres for sub-6 GHz carriers,
+/// which is why the paper's Friis-based model is adequate for ISDs up to
+/// ~2.6 km; this model quantifies that argument in an ablation bench.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_propagation::{PathLoss, TwoRayGround};
+/// use corridor_units::{Hertz, Meters};
+///
+/// let model = TwoRayGround::new(Hertz::from_ghz(3.5), Meters::new(15.0), Meters::new(3.0));
+/// assert!(model.crossover_distance().value() > 2000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TwoRayGround {
+    free_space: FreeSpace,
+    tx_height: Meters,
+    rx_height: Meters,
+}
+
+impl TwoRayGround {
+    /// Creates a two-ray model with the given antenna heights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either height is not strictly positive.
+    pub fn new(frequency: Hertz, tx_height: Meters, rx_height: Meters) -> Self {
+        assert!(
+            tx_height.value() > 0.0 && rx_height.value() > 0.0,
+            "antenna heights must be positive"
+        );
+        TwoRayGround {
+            free_space: FreeSpace::new(frequency),
+            tx_height,
+            rx_height,
+        }
+    }
+
+    /// The crossover distance `4π·h_t·h_r/λ` beyond which the `d^4` regime
+    /// applies.
+    pub fn crossover_distance(&self) -> Meters {
+        let lambda = self.free_space.frequency().wavelength().value();
+        Meters::new(
+            4.0 * std::f64::consts::PI * self.tx_height.value() * self.rx_height.value()
+                / lambda,
+        )
+    }
+
+    /// Transmitter antenna height.
+    pub fn tx_height(&self) -> Meters {
+        self.tx_height
+    }
+
+    /// Receiver antenna height.
+    pub fn rx_height(&self) -> Meters {
+        self.rx_height
+    }
+}
+
+impl PathLoss for TwoRayGround {
+    fn attenuation(&self, distance: Meters) -> Db {
+        let d = distance.abs().max(self.min_distance());
+        let crossover = self.crossover_distance();
+        if d <= crossover {
+            self.free_space.attenuation(d)
+        } else {
+            // L = d^4 / (h_t^2 h_r^2), continuous at the crossover by
+            // construction of the matching constant below.
+            let at_crossover = self.free_space.attenuation(crossover);
+            at_crossover + Db::new(40.0 * (d.value() / crossover.value()).log10())
+        }
+    }
+
+    fn min_distance(&self) -> Meters {
+        self.free_space.min_distance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TwoRayGround {
+        TwoRayGround::new(Hertz::from_ghz(3.5), Meters::new(15.0), Meters::new(3.0))
+    }
+
+    #[test]
+    fn crossover_distance_value() {
+        // 4π · 15 · 3 / 0.08565 ≈ 6.6 km
+        let d = model().crossover_distance().value();
+        assert!((d - 6602.0).abs() < 10.0, "got {d}");
+    }
+
+    #[test]
+    fn below_crossover_is_free_space() {
+        let m = model();
+        let fs = FreeSpace::new(Hertz::from_ghz(3.5));
+        for d in [10.0, 500.0, 2650.0] {
+            assert_eq!(
+                m.attenuation(Meters::new(d)),
+                fs.attenuation(Meters::new(d)),
+                "at {d} m"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_at_crossover() {
+        let m = model();
+        let dc = m.crossover_distance();
+        let just_below = m.attenuation(dc - Meters::new(0.01));
+        let just_above = m.attenuation(dc + Meters::new(0.01));
+        assert!((just_above - just_below).value().abs() < 0.01);
+    }
+
+    #[test]
+    fn fourth_power_regime_beyond_crossover() {
+        let m = model();
+        let dc = m.crossover_distance();
+        let l1 = m.attenuation(dc * 2.0);
+        let l2 = m.attenuation(dc * 4.0);
+        assert!(((l2 - l1).value() - 40.0 * 2f64.log10()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corridor_isds_unaffected_by_ground_reflection() {
+        // The paper's largest ISD (2650 m) stays in the free-space regime.
+        let m = model();
+        assert!(m.crossover_distance().value() > 2650.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "heights must be positive")]
+    fn zero_height_rejected() {
+        let _ = TwoRayGround::new(Hertz::from_ghz(3.5), Meters::ZERO, Meters::new(3.0));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = model();
+        assert_eq!(m.tx_height(), Meters::new(15.0));
+        assert_eq!(m.rx_height(), Meters::new(3.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Solar position geometry.
+
+/// Solar geometry for a given latitude: declination, hour angles, and the
+/// solar elevation/azimuth used by the transposition model.
+///
+/// Conventions: angles in degrees at the API surface, radians internally;
+/// hour angle 0 at solar noon, negative in the morning; azimuth measured
+/// from south, positive towards west (the PV convention, matching the
+/// paper's "azimuth angle: 0°" for a south-facing module).
+///
+/// # Examples
+///
+/// ```
+/// use corridor_solar::SolarGeometry;
+/// let geo = SolarGeometry::at_latitude(40.4); // Madrid
+/// // summer solstice noon: elevation ≈ 90 − 40.4 + 23.45 ≈ 73°
+/// let elev = geo.elevation_deg(172, 12.0);
+/// assert!((elev - 73.0).abs() < 0.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SolarGeometry {
+    latitude_deg: f64,
+}
+
+impl SolarGeometry {
+    /// Geometry for the given latitude (degrees, north positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latitude_deg` is outside `[-90, 90]`.
+    pub fn at_latitude(latitude_deg: f64) -> Self {
+        assert!(
+            (-90.0..=90.0).contains(&latitude_deg),
+            "latitude out of range"
+        );
+        SolarGeometry { latitude_deg }
+    }
+
+    /// The site latitude in degrees.
+    pub fn latitude_deg(&self) -> f64 {
+        self.latitude_deg
+    }
+
+    /// Solar declination (degrees) for day of year `doy` (1..=365),
+    /// Cooper's formula.
+    pub fn declination_deg(doy: u32) -> f64 {
+        23.45 * (std::f64::consts::TAU * (284.0 + doy as f64) / 365.0).sin()
+    }
+
+    /// Hour angle (degrees) for local solar time `hour` (0.0..24.0):
+    /// 15° per hour from solar noon.
+    pub fn hour_angle_deg(hour: f64) -> f64 {
+        15.0 * (hour - 12.0)
+    }
+
+    /// Solar elevation above the horizon (degrees) at day `doy` and local
+    /// solar time `hour`; negative below the horizon.
+    pub fn elevation_deg(&self, doy: u32, hour: f64) -> f64 {
+        let lat = self.latitude_deg.to_radians();
+        let dec = Self::declination_deg(doy).to_radians();
+        let ha = Self::hour_angle_deg(hour).to_radians();
+        (lat.sin() * dec.sin() + lat.cos() * dec.cos() * ha.cos())
+            .asin()
+            .to_degrees()
+    }
+
+    /// Solar zenith angle (degrees): `90 − elevation`.
+    pub fn zenith_deg(&self, doy: u32, hour: f64) -> f64 {
+        90.0 - self.elevation_deg(doy, hour)
+    }
+
+    /// Solar azimuth (degrees from south, west positive).
+    pub fn azimuth_deg(&self, doy: u32, hour: f64) -> f64 {
+        let lat = self.latitude_deg.to_radians();
+        let dec = Self::declination_deg(doy).to_radians();
+        let ha = Self::hour_angle_deg(hour).to_radians();
+        let elev = self.elevation_deg(doy, hour).to_radians();
+        // standard formula; guard the acos argument against rounding
+        let cos_az = (elev.sin() * lat.sin() - dec.sin()) / (elev.cos() * lat.cos());
+        let az = cos_az.clamp(-1.0, 1.0).acos().to_degrees();
+        if ha < 0.0 {
+            -az
+        } else {
+            az
+        }
+    }
+
+    /// Sunrise hour angle magnitude (degrees); 0 for polar night, 180 for
+    /// polar day.
+    pub fn sunrise_hour_angle_deg(&self, doy: u32) -> f64 {
+        let lat = self.latitude_deg.to_radians();
+        let dec = Self::declination_deg(doy).to_radians();
+        let cos_ws = -lat.tan() * dec.tan();
+        cos_ws.clamp(-1.0, 1.0).acos().to_degrees()
+    }
+
+    /// Day length in hours.
+    pub fn day_length_hours(&self, doy: u32) -> f64 {
+        2.0 * self.sunrise_hour_angle_deg(doy) / 15.0
+    }
+
+    /// Cosine of the angle of incidence on a tilted plane.
+    ///
+    /// `tilt_deg` is the plane's inclination from horizontal (90° =
+    /// vertical); `plane_azimuth_deg` from south, west positive. Clamped at
+    /// zero (sun behind the plane).
+    pub fn incidence_cosine(
+        &self,
+        doy: u32,
+        hour: f64,
+        tilt_deg: f64,
+        plane_azimuth_deg: f64,
+    ) -> f64 {
+        let elev = self.elevation_deg(doy, hour).to_radians();
+        if elev <= 0.0 {
+            return 0.0;
+        }
+        let sun_az = self.azimuth_deg(doy, hour).to_radians();
+        let tilt = tilt_deg.to_radians();
+        let plane_az = plane_azimuth_deg.to_radians();
+        let cos_inc =
+            elev.sin() * tilt.cos() + elev.cos() * tilt.sin() * (sun_az - plane_az).cos();
+        cos_inc.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MADRID: f64 = 40.4;
+    const BERLIN: f64 = 52.5;
+
+    #[test]
+    fn declination_extremes() {
+        // summer solstice ~ +23.45, winter ~ -23.45, equinox ~ 0
+        assert!((SolarGeometry::declination_deg(172) - 23.45).abs() < 0.1);
+        assert!((SolarGeometry::declination_deg(355) + 23.45).abs() < 0.1);
+        assert!(SolarGeometry::declination_deg(81).abs() < 1.0);
+    }
+
+    #[test]
+    fn noon_elevation_formula() {
+        let geo = SolarGeometry::at_latitude(MADRID);
+        // at solar noon: elevation = 90 - lat + declination
+        for doy in [1u32, 100, 200, 300] {
+            let expected = 90.0 - MADRID + SolarGeometry::declination_deg(doy);
+            assert!((geo.elevation_deg(doy, 12.0) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sun_below_horizon_at_midnight() {
+        let geo = SolarGeometry::at_latitude(MADRID);
+        assert!(geo.elevation_deg(172, 0.0) < 0.0);
+        assert!(geo.elevation_deg(355, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn azimuth_sign_convention() {
+        let geo = SolarGeometry::at_latitude(MADRID);
+        // morning sun in the east (negative), afternoon in the west
+        assert!(geo.azimuth_deg(100, 9.0) < 0.0);
+        assert!(geo.azimuth_deg(100, 15.0) > 0.0);
+        assert!(geo.azimuth_deg(100, 12.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn day_length_seasonal_ordering() {
+        let berlin = SolarGeometry::at_latitude(BERLIN);
+        let madrid = SolarGeometry::at_latitude(MADRID);
+        // Berlin summers are longer, winters shorter
+        assert!(berlin.day_length_hours(172) > madrid.day_length_hours(172));
+        assert!(berlin.day_length_hours(355) < madrid.day_length_hours(355));
+        // Berlin mid-winter day is short but not polar night
+        let winter = berlin.day_length_hours(355);
+        assert!(winter > 7.0 && winter < 9.0, "got {winter}");
+    }
+
+    #[test]
+    fn vertical_south_plane_sees_winter_sun_well() {
+        let geo = SolarGeometry::at_latitude(BERLIN);
+        // low winter sun hits a vertical south plane at near-normal incidence
+        let winter = geo.incidence_cosine(355, 12.0, 90.0, 0.0);
+        let summer = geo.incidence_cosine(172, 12.0, 90.0, 0.0);
+        assert!(winter > 0.9, "winter cos(inc) = {winter}");
+        assert!(summer < winter);
+    }
+
+    #[test]
+    fn incidence_zero_when_sun_down_or_behind() {
+        let geo = SolarGeometry::at_latitude(MADRID);
+        assert_eq!(geo.incidence_cosine(100, 0.0, 90.0, 0.0), 0.0);
+        // north-facing vertical plane at noon sees nothing
+        assert_eq!(geo.incidence_cosine(100, 12.0, 90.0, 180.0), 0.0);
+    }
+
+    #[test]
+    fn zenith_complements_elevation() {
+        let geo = SolarGeometry::at_latitude(MADRID);
+        let e = geo.elevation_deg(150, 10.0);
+        assert!((geo.zenith_deg(150, 10.0) + e - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn bad_latitude_rejected() {
+        let _ = SolarGeometry::at_latitude(91.0);
+    }
+}

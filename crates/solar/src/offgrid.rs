@@ -1,0 +1,328 @@
+//! Year-long off-grid system simulation.
+
+use core::fmt;
+
+use corridor_units::WattHours;
+
+use crate::{
+    Battery, ClearSky, DailyLoadProfile, Location, PvArray, SolarGeometry, Transposition,
+    WeatherGenerator,
+};
+
+/// Summary statistics of one simulated year, mirroring the PVGIS off-grid
+/// report used in the paper's Table IV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct YearStats {
+    days: u32,
+    full_battery_days: u32,
+    downtime_days: u32,
+    unmet_energy: WattHours,
+    curtailed_energy: WattHours,
+    generation: WattHours,
+    consumption: WattHours,
+    min_soc_fraction: f64,
+}
+
+impl YearStats {
+    /// Number of simulated days.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Days on which the battery reached full charge.
+    pub fn full_battery_days(&self) -> u32 {
+        self.full_battery_days
+    }
+
+    /// Fraction of days with a full battery (the paper's Table IV metric).
+    pub fn full_battery_day_fraction(&self) -> f64 {
+        f64::from(self.full_battery_days) / f64::from(self.days)
+    }
+
+    /// Days with unserved load (the paper requires zero).
+    pub fn downtime_days(&self) -> u32 {
+        self.downtime_days
+    }
+
+    /// Total unserved load energy.
+    pub fn unmet_energy(&self) -> WattHours {
+        self.unmet_energy
+    }
+
+    /// Generation that could not be stored or used.
+    pub fn curtailed_energy(&self) -> WattHours {
+        self.curtailed_energy
+    }
+
+    /// Total PV generation.
+    pub fn generation(&self) -> WattHours {
+        self.generation
+    }
+
+    /// Total load.
+    pub fn consumption(&self) -> WattHours {
+        self.consumption
+    }
+
+    /// Lowest state of charge reached, as a fraction of nominal capacity.
+    pub fn min_soc_fraction(&self) -> f64 {
+        self.min_soc_fraction
+    }
+}
+
+impl fmt::Display for YearStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} % days full, {} downtime day(s), {:.0} generated / {:.0} consumed",
+            self.full_battery_day_fraction() * 100.0,
+            self.downtime_days,
+            self.generation.value(),
+            self.consumption.value()
+        )
+    }
+}
+
+/// A complete off-grid repeater power system at a location: PV array,
+/// battery and load, simulated hourly over a full year with synthetic
+/// weather.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_solar::{climate, Battery, DailyLoadProfile, OffGridSystem, PvArray};
+/// use corridor_units::WattHours;
+///
+/// let system = OffGridSystem::new(
+///     climate::madrid(),
+///     PvArray::standard_modules(3),
+///     Battery::with_capacity(WattHours::new(720.0)),
+///     DailyLoadProfile::repeater_paper_default(),
+/// );
+/// let stats = system.simulate_year(1);
+/// assert_eq!(stats.days(), 365);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OffGridSystem {
+    location: Location,
+    pv: PvArray,
+    battery: Battery,
+    load: DailyLoadProfile,
+    transposition: Transposition,
+    variability: f64,
+    persistence: f64,
+}
+
+impl OffGridSystem {
+    /// Clearness floor/ceiling when converting daily GHI to an index.
+    const KT_RANGE: (f64, f64) = (0.03, 0.85);
+
+    /// A system with the paper's mounting (vertical, south-facing) and the
+    /// default weather variability.
+    pub fn new(
+        location: Location,
+        pv: PvArray,
+        battery: Battery,
+        load: DailyLoadProfile,
+    ) -> Self {
+        let geometry = SolarGeometry::at_latitude(location.latitude_deg());
+        let persistence = location.overcast_persistence();
+        OffGridSystem {
+            location,
+            pv,
+            battery,
+            load,
+            transposition: Transposition::vertical_south(geometry),
+            variability: WeatherGenerator::DEFAULT_VARIABILITY,
+            persistence,
+        }
+    }
+
+    /// Overrides the module mounting (tilt/azimuth).
+    #[must_use]
+    pub fn with_mounting(mut self, tilt_deg: f64, azimuth_deg: f64) -> Self {
+        let geometry = SolarGeometry::at_latitude(self.location.latitude_deg());
+        self.transposition = Transposition::new(geometry, tilt_deg, azimuth_deg);
+        self
+    }
+
+    /// Overrides the weather variability (0 = deterministic normals).
+    #[must_use]
+    pub fn with_weather_variability(mut self, variability: f64, persistence: f64) -> Self {
+        self.variability = variability;
+        self.persistence = persistence;
+        self
+    }
+
+    /// The simulated site.
+    pub fn location(&self) -> &Location {
+        &self.location
+    }
+
+    /// The PV array.
+    pub fn pv(&self) -> &PvArray {
+        &self.pv
+    }
+
+    /// The battery (template state; simulations start from full).
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// The load profile.
+    pub fn load(&self) -> &DailyLoadProfile {
+        &self.load
+    }
+
+    /// Simulates one year (365 days, hourly) with weather seed `seed`.
+    ///
+    /// The battery starts full on January 1st; the seed fully determines
+    /// the weather, so results are reproducible.
+    pub fn simulate_year(&self, seed: u64) -> YearStats {
+        let clear_sky = ClearSky::new(SolarGeometry::at_latitude(self.location.latitude_deg()));
+        let mut weather = WeatherGenerator::new(self.location.clone(), seed)
+            .with_variability(self.variability)
+            .with_persistence(self.persistence);
+        let multipliers = weather.daily_multipliers_for_year();
+        let mut battery = self.battery;
+        battery.reset_full();
+
+        let mut stats = YearStats {
+            days: 365,
+            full_battery_days: 0,
+            downtime_days: 0,
+            unmet_energy: WattHours::ZERO,
+            curtailed_energy: WattHours::ZERO,
+            generation: WattHours::ZERO,
+            consumption: WattHours::ZERO,
+            min_soc_fraction: 1.0,
+        };
+
+        for doy in 1..=365u32 {
+            let clear_daily = clear_sky.daily_ghi_wh_m2(doy).max(1.0);
+            let target_daily = self.location.ghi_for_doy_wh_m2(doy)
+                * multipliers[(doy - 1) as usize];
+            let kt = (target_daily / clear_daily).clamp(Self::KT_RANGE.0, Self::KT_RANGE.1);
+            let ambient = self.location.temp_for_doy(doy);
+
+            let mut full_today = false;
+            let mut unmet_today = false;
+            for hour in 0..24usize {
+                let poa = self.transposition.poa_w_m2(doy, hour as f64 + 0.5, kt);
+                let generation =
+                    WattHours::new(self.pv.output_power_w(poa, ambient));
+                let load = self.load.energy_at_hour(hour);
+                let step = battery.step(generation, load);
+                stats.generation += generation;
+                stats.consumption += load;
+                stats.unmet_energy += step.unmet;
+                stats.curtailed_energy += step.curtailed;
+                full_today |= step.full_after;
+                unmet_today |= step.unmet.value() > 0.0;
+                stats.min_soc_fraction = stats.min_soc_fraction.min(battery.soc_fraction());
+            }
+            if full_today {
+                stats.full_battery_days += 1;
+            }
+            if unmet_today {
+                stats.downtime_days += 1;
+            }
+        }
+        stats
+    }
+
+    /// Simulates several seeded years and returns the per-year stats.
+    pub fn simulate_years(&self, seeds: &[u64]) -> Vec<YearStats> {
+        seeds.iter().map(|&s| self.simulate_year(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate;
+
+    fn system(location: Location, modules: u32, battery_wh: f64) -> OffGridSystem {
+        OffGridSystem::new(
+            location,
+            PvArray::standard_modules(modules),
+            Battery::with_capacity(WattHours::new(battery_wh)),
+            DailyLoadProfile::repeater_paper_default(),
+        )
+    }
+
+    #[test]
+    fn madrid_standard_system_has_no_downtime() {
+        let stats = system(climate::madrid(), 3, 720.0).simulate_year(1);
+        assert_eq!(stats.downtime_days(), 0, "{stats}");
+        assert!(stats.full_battery_day_fraction() > 0.90, "{stats}");
+    }
+
+    #[test]
+    fn generation_dwarfs_load_in_madrid() {
+        let stats = system(climate::madrid(), 3, 720.0).simulate_year(2);
+        assert!(stats.generation() > stats.consumption() * 3.0);
+        // most of the surplus is necessarily curtailed
+        assert!(stats.curtailed_energy() > WattHours::ZERO);
+    }
+
+    #[test]
+    fn berlin_worse_than_madrid() {
+        let madrid = system(climate::madrid(), 3, 720.0).simulate_year(5);
+        let berlin = system(climate::berlin(), 3, 720.0).simulate_year(5);
+        assert!(
+            berlin.full_battery_day_fraction() < madrid.full_battery_day_fraction(),
+            "berlin {berlin}, madrid {madrid}"
+        );
+        assert!(berlin.min_soc_fraction() <= madrid.min_soc_fraction());
+    }
+
+    #[test]
+    fn bigger_battery_never_hurts() {
+        let small = system(climate::vienna(), 3, 720.0).simulate_year(9);
+        let big = system(climate::vienna(), 3, 1440.0).simulate_year(9);
+        assert!(big.downtime_days() <= small.downtime_days());
+        assert!(big.unmet_energy() <= small.unmet_energy());
+    }
+
+    #[test]
+    fn more_pv_never_hurts() {
+        let small = system(climate::berlin(), 3, 720.0).simulate_year(13);
+        let big = system(climate::berlin(), 5, 720.0).simulate_year(13);
+        assert!(big.downtime_days() <= small.downtime_days());
+        assert!(big.generation() > small.generation());
+    }
+
+    #[test]
+    fn deterministic_weather_variant() {
+        let sys = system(climate::lyon(), 3, 720.0).with_weather_variability(0.0, 0.0);
+        let a = sys.simulate_year(1);
+        let b = sys.simulate_year(99);
+        // zero variability: the seed is irrelevant
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reproducible_per_seed() {
+        let sys = system(climate::vienna(), 3, 720.0);
+        assert_eq!(sys.simulate_year(4), sys.simulate_year(4));
+        let multi = sys.simulate_years(&[1, 2, 3]);
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi[0], sys.simulate_year(1));
+    }
+
+    #[test]
+    fn consumption_matches_profile() {
+        let stats = system(climate::madrid(), 3, 720.0).simulate_year(3);
+        let expected = DailyLoadProfile::repeater_paper_default().daily_energy().value() * 365.0;
+        assert!((stats.consumption().value() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_display() {
+        let stats = system(climate::madrid(), 3, 720.0).simulate_year(1);
+        let s = stats.to_string();
+        assert!(s.contains("% days full"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Train kinematics.
+
+use core::fmt;
+
+use corridor_units::{KilometersPerHour, Meters, MetersPerSecond, Seconds};
+
+/// A train: length and (constant) speed.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_traffic::Train;
+/// let train = Train::paper_default();
+/// assert_eq!(train.length().value(), 400.0);
+/// assert!((train.speed().value() - 55.56).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Train {
+    length: Meters,
+    speed: MetersPerSecond,
+}
+
+impl Train {
+    /// The paper's Table III train: 400 m long at 200 km/h.
+    pub fn paper_default() -> Self {
+        Train {
+            length: Meters::new(400.0),
+            speed: KilometersPerHour::new(200.0).meters_per_second(),
+        }
+    }
+
+    /// Creates a train.
+    ///
+    /// # Panics
+    ///
+    /// Panics if length is negative or speed is not strictly positive.
+    pub fn new(length: Meters, speed: MetersPerSecond) -> Self {
+        assert!(length.value() >= 0.0, "train length must be non-negative");
+        assert!(speed.value() > 0.0, "train speed must be positive");
+        Train { length, speed }
+    }
+
+    /// Train length.
+    pub fn length(&self) -> Meters {
+        self.length
+    }
+
+    /// Train speed.
+    pub fn speed(&self) -> MetersPerSecond {
+        self.speed
+    }
+
+    /// Time for the whole train to clear a section of the given length:
+    /// `(section + length) / v` — the paper's full-load duration per train.
+    pub fn time_to_clear(&self, section_length: Meters) -> Seconds {
+        (section_length + self.length) / self.speed
+    }
+}
+
+impl Default for Train {
+    /// Returns [`Train::paper_default`].
+    fn default() -> Self {
+        Train::paper_default()
+    }
+}
+
+impl fmt::Display for Train {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "train ({} at {})", self.length, self.speed)
+    }
+}
+
+/// One run of a train along the corridor.
+///
+/// `origin_time` is the time of day at which the train's *head* crosses
+/// track position 0 m; the train then proceeds in the positive direction at
+/// constant speed.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_traffic::{Train, TrainPass};
+/// use corridor_units::{Meters, Seconds};
+///
+/// let pass = TrainPass::new(Train::paper_default(), Seconds::new(3600.0));
+/// let head = pass.head_position(Seconds::new(3610.0));
+/// assert!((head.value() - 555.6).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrainPass {
+    train: Train,
+    origin_time: Seconds,
+}
+
+impl TrainPass {
+    /// Creates a pass of `train` whose head crosses 0 m at `origin_time`.
+    pub fn new(train: Train, origin_time: Seconds) -> Self {
+        TrainPass { train, origin_time }
+    }
+
+    /// The train making this pass.
+    pub fn train(&self) -> Train {
+        self.train
+    }
+
+    /// Time the head crosses position 0 m.
+    pub fn origin_time(&self) -> Seconds {
+        self.origin_time
+    }
+
+    /// Position of the train head at time `t` (may be negative before the
+    /// train reaches the origin).
+    pub fn head_position(&self, t: Seconds) -> Meters {
+        self.train.speed() * (t - self.origin_time)
+    }
+
+    /// Position of the train tail at time `t`.
+    pub fn tail_position(&self, t: Seconds) -> Meters {
+        self.head_position(t) - self.train.length()
+    }
+
+    /// Time at which the head reaches track position `x`.
+    pub fn head_reaches(&self, x: Meters) -> Seconds {
+        self.origin_time + x / self.train.speed()
+    }
+
+    /// Time at which the tail clears track position `x`.
+    pub fn tail_clears(&self, x: Meters) -> Seconds {
+        self.origin_time + (x + self.train.length()) / self.train.speed()
+    }
+
+    /// True if any part of the train overlaps `[from, to]` at time `t`.
+    pub fn overlaps(&self, from: Meters, to: Meters, t: Seconds) -> bool {
+        let head = self.head_position(t);
+        let tail = self.tail_position(t);
+        head >= from && tail <= to
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let t = Train::paper_default();
+        assert_eq!(t.length(), Meters::new(400.0));
+        assert!((t.speed().value() - 55.5556).abs() < 1e-3);
+        assert_eq!(Train::default(), t);
+    }
+
+    #[test]
+    fn clear_times_match_paper_range() {
+        let t = Train::paper_default();
+        // ISD 500 m -> 16.2 s; ISD 2650 m -> 54.9 s (paper: 16 s – 55 s)
+        assert!((t.time_to_clear(Meters::new(500.0)).value() - 16.2).abs() < 0.01);
+        assert!((t.time_to_clear(Meters::new(2650.0)).value() - 54.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn head_and_tail_positions() {
+        let pass = TrainPass::new(Train::paper_default(), Seconds::new(100.0));
+        let t = Seconds::new(100.0 + 18.0); // 18 s after origin: 1000 m
+        assert!((pass.head_position(t).value() - 1000.0).abs() < 0.01);
+        assert!((pass.tail_position(t).value() - 600.0).abs() < 0.01);
+        // before origin the head is negative
+        assert!(pass.head_position(Seconds::new(50.0)).value() < 0.0);
+    }
+
+    #[test]
+    fn reach_and_clear_are_inverse_of_position() {
+        let pass = TrainPass::new(Train::paper_default(), Seconds::new(500.0));
+        let x = Meters::new(750.0);
+        let t_head = pass.head_reaches(x);
+        assert!((pass.head_position(t_head).value() - 750.0).abs() < 1e-9);
+        let t_tail = pass.tail_clears(x);
+        assert!((pass.tail_position(t_tail).value() - 750.0).abs() < 1e-9);
+        assert!(t_tail > t_head);
+    }
+
+    #[test]
+    fn overlap_window() {
+        let pass = TrainPass::new(Train::paper_default(), Seconds::ZERO);
+        // while head is between 0 and section end + length the train overlaps
+        assert!(pass.overlaps(Meters::ZERO, Meters::new(500.0), Seconds::new(5.0)));
+        assert!(!pass.overlaps(Meters::ZERO, Meters::new(500.0), Seconds::new(-1.0)));
+        // after tail passes 500 m: head at 900 m at t = 16.2 s
+        assert!(!pass.overlaps(Meters::ZERO, Meters::new(500.0), Seconds::new(16.3)));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let train = Train::new(Meters::new(200.0), MetersPerSecond::new(40.0));
+        let pass = TrainPass::new(train, Seconds::new(60.0));
+        assert_eq!(pass.train(), train);
+        assert_eq!(pass.origin_time(), Seconds::new(60.0));
+        assert!(train.to_string().contains("200.0 m"));
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = Train::new(Meters::new(400.0), MetersPerSecond::new(0.0));
+    }
+}
