@@ -1,0 +1,34 @@
+# Offline mirror of .github/workflows/ci.yml — `make ci` runs the same gate.
+
+RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
+
+.PHONY: ci fmt-check clippy build test doc quickstart bench-build results
+
+ci: fmt-check clippy build test doc quickstart bench-build
+
+fmt-check:
+	cargo fmt --all --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --workspace
+
+doc:
+	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace
+
+quickstart:
+	cargo run --release --example quickstart
+
+bench-build:
+	cargo bench -p corridor_bench --no-run
+
+# Regenerate the committed reference outputs under docs/results/.
+results:
+	for b in headline table1 table2 table3 table4 fig3 fig4 isd_sweep; do \
+		cargo run -q --release -p corridor_bench --bin $$b > docs/results/$$b.txt || exit 1; \
+	done

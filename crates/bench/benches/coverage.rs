@@ -15,12 +15,9 @@ use std::hint::black_box;
 use corridor_core::prelude::*;
 
 fn bench_snr_point(c: &mut Criterion) {
-    let layout = CorridorLayout::with_policy(
-        Meters::new(2400.0),
-        8,
-        &PlacementPolicy::paper_default(),
-    )
-    .unwrap();
+    let layout =
+        CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+            .unwrap();
     let model = layout.snr_model(&LinkBudget::paper_default());
     c.bench_function("snr_at/fig3_scenario", |b| {
         b.iter(|| model.snr_at(black_box(Meters::new(777.0))))

@@ -50,7 +50,11 @@ fn bench_sizing(c: &mut Criterion) {
 /// but maximizes the binding winter yield — printed for the record.
 fn bench_ablation_mounting(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mounting");
-    for (label, tilt) in [("vertical_90", 90.0), ("latitude_tilt_40", 40.0), ("flat_0", 0.0)] {
+    for (label, tilt) in [
+        ("vertical_90", 90.0),
+        ("latitude_tilt_40", 40.0),
+        ("flat_0", 0.0),
+    ] {
         let system = OffGridSystem::new(
             climate::berlin(),
             PvArray::standard_modules(3),

@@ -36,12 +36,8 @@ fn bench_fig4(c: &mut Criterion) {
 fn bench_ablation_donor(c: &mut Criterion) {
     let params = ScenarioParams::paper_default();
     let table = IsdTable::paper();
-    let full = energy::savings_vs_conventional(
-        &params,
-        &table,
-        10,
-        EnergyStrategy::SleepModeRepeaters,
-    );
+    let full =
+        energy::savings_vs_conventional(&params, &table, 10, EnergyStrategy::SleepModeRepeaters);
     // a donor that only serves half the segment saves at most the donor
     // share; bound it by removing donors outright
     let no_donor = {

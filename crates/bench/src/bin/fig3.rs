@@ -40,6 +40,12 @@ fn main() {
         .map(|s| s.total_signal.value())
         .fold(f64::INFINITY, f64::min);
     println!("minimum total signal along the track: {min_signal:.1} dBm");
-    println!("paper claim: the signal power can be kept above -100 dBm -> {}",
-        if min_signal > -100.0 { "REPRODUCED" } else { "NOT reproduced" });
+    println!(
+        "paper claim: the signal power can be kept above -100 dBm -> {}",
+        if min_signal > -100.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
 }

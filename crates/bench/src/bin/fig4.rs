@@ -3,10 +3,10 @@
 //! nodes under the three operating strategies.
 
 use corridor_bench::{scenario, wh};
-use corridor_core::report::TextTable;
-use corridor_core::{experiments, ScenarioParams};
 use corridor_core::deploy::IsdTable;
+use corridor_core::report::TextTable;
 use corridor_core::units::Meters;
+use corridor_core::{experiments, ScenarioParams};
 
 fn render(params: &ScenarioParams, table: &IsdTable, label: &str) {
     let rows = experiments::fig4(params, table);

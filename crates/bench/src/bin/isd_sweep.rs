@@ -3,8 +3,8 @@
 //! throughput everywhere (SNR >= 29 dB).
 
 use corridor_bench::scenario;
-use corridor_core::report::TextTable;
 use corridor_core::experiments;
+use corridor_core::report::TextTable;
 use corridor_core::units::Meters;
 
 fn main() {

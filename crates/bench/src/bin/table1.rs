@@ -23,8 +23,16 @@ fn main() {
     }
     println!("{}", table.render());
     println!("paths: {} DL, {} UL", bill.dl_paths(), bill.ul_paths());
-    println!("sleep total (computed):      {:.2} W (paper: 4.72 W)", bill.sleep_total().value());
-    println!("active total (published):    {:.2} W", bill.paper_full_load_total().value());
-    println!("active total (naive sum):    {:.2} W (see DESIGN.md §2.4 on the discrepancy)",
-        bill.naive_active_total().value());
+    println!(
+        "sleep total (computed):      {:.2} W (paper: 4.72 W)",
+        bill.sleep_total().value()
+    );
+    println!(
+        "active total (published):    {:.2} W",
+        bill.paper_full_load_total().value()
+    );
+    println!(
+        "active total (naive sum):    {:.2} W (see DESIGN.md §2.4 on the discrepancy)",
+        bill.naive_active_total().value()
+    );
 }

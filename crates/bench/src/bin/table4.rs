@@ -30,6 +30,8 @@ fn main() {
             .collect(),
     );
     println!("{}", table.render());
-    println!("paper:  540/540/540/600 Wp, 720/720/1440/1440 Wh, 98.13/95.15/93.73/88.0 % days full");
+    println!(
+        "paper:  540/540/540/600 Wp, 720/720/1440/1440 Wh, 98.13/95.15/93.73/88.0 % days full"
+    );
     println!("(percentages depend on the satellite weather database; see EXPERIMENTS.md)");
 }

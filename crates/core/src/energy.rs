@@ -93,10 +93,7 @@ pub fn average_power_per_km(
 
     // Service node: full load while a train is within its spacing-wide
     // section.
-    let service_active = active_hours(
-        params,
-        TrackSection::around(isd / 2.0, params.lp_spacing()),
-    );
+    let service_active = active_hours(params, TrackSection::around(isd / 2.0, params.lp_spacing()));
     let service_duty =
         corridor_power::DutyCycle::over_day(service_active, corridor_units::Hours::ZERO);
 
@@ -154,12 +151,8 @@ pub fn line_average_power(
         .segments()
         .iter()
         .map(|segment| {
-            let per_km = average_power_per_km(
-                params,
-                segment.repeater_count(),
-                segment.isd(),
-                strategy,
-            );
+            let per_km =
+                average_power_per_km(params, segment.repeater_count(), segment.isd(), strategy);
             per_km.total() * segment.isd().kilometers().value()
         })
         .sum()
@@ -173,8 +166,7 @@ pub fn line_savings_vs_conventional(
     strategy: EnergyStrategy,
 ) -> f64 {
     let deployed = line_average_power(params, corridor, strategy);
-    let baseline =
-        conventional_baseline(params).total() * corridor.total_length().value();
+    let baseline = conventional_baseline(params).total() * corridor.total_length().value();
     1.0 - deployed / baseline
 }
 
@@ -230,19 +222,10 @@ mod tests {
     fn paper_sleep_mode_savings() {
         let table = IsdTable::paper();
         // paper Section V-A: 57 % with one node, 74 % with ten
-        let one = savings_vs_conventional(
-            &params(),
-            &table,
-            1,
-            EnergyStrategy::SleepModeRepeaters,
-        );
+        let one = savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SleepModeRepeaters);
         assert!((one - 0.57).abs() < 0.01, "one node: {one}");
-        let ten = savings_vs_conventional(
-            &params(),
-            &table,
-            10,
-            EnergyStrategy::SleepModeRepeaters,
-        );
+        let ten =
+            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SleepModeRepeaters);
         assert!((ten - 0.74).abs() < 0.01, "ten nodes: {ten}");
     }
 
@@ -250,19 +233,11 @@ mod tests {
     fn paper_solar_savings() {
         let table = IsdTable::paper();
         // paper: 59 % with one node, 79 % with ten
-        let one = savings_vs_conventional(
-            &params(),
-            &table,
-            1,
-            EnergyStrategy::SolarPoweredRepeaters,
-        );
+        let one =
+            savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SolarPoweredRepeaters);
         assert!((one - 0.59).abs() < 0.01, "one node: {one}");
-        let ten = savings_vs_conventional(
-            &params(),
-            &table,
-            10,
-            EnergyStrategy::SolarPoweredRepeaters,
-        );
+        let ten =
+            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SolarPoweredRepeaters);
         assert!((ten - 0.79).abs() < 0.01, "ten nodes: {ten}");
     }
 
@@ -270,18 +245,10 @@ mod tests {
     fn paper_continuous_crosses_half_at_three_nodes() {
         let table = IsdTable::paper();
         // paper: "at least three low-power repeater nodes ... below 50 %"
-        let two = savings_vs_conventional(
-            &params(),
-            &table,
-            2,
-            EnergyStrategy::ContinuousRepeaters,
-        );
-        let three = savings_vs_conventional(
-            &params(),
-            &table,
-            3,
-            EnergyStrategy::ContinuousRepeaters,
-        );
+        let two =
+            savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters);
+        let three =
+            savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters);
         assert!(two < 0.5, "two nodes: {two}");
         assert!(three > 0.5, "three nodes: {three}");
     }
@@ -293,8 +260,7 @@ mod tests {
             let isd = table.isd_for(n).unwrap();
             let continuous =
                 average_power_per_km(&params(), n, isd, EnergyStrategy::ContinuousRepeaters);
-            let sleep =
-                average_power_per_km(&params(), n, isd, EnergyStrategy::SleepModeRepeaters);
+            let sleep = average_power_per_km(&params(), n, isd, EnergyStrategy::SleepModeRepeaters);
             let solar =
                 average_power_per_km(&params(), n, isd, EnergyStrategy::SolarPoweredRepeaters);
             assert!(continuous.total() > sleep.total(), "n={n}");
@@ -325,10 +291,7 @@ mod tests {
     #[test]
     fn segment_energy_helpers() {
         let base = conventional_baseline(&params());
-        assert_eq!(
-            base.hourly_energy_per_km().value(),
-            base.total().value()
-        );
+        assert_eq!(base.hourly_energy_per_km().value(), base.total().value());
         assert_eq!(base.savings_vs(&base), 0.0);
     }
 
@@ -341,11 +304,21 @@ mod tests {
         line.push_with_repeaters(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
             .unwrap();
         let total = line_average_power(&p, &line, EnergyStrategy::SleepModeRepeaters);
-        let manual = average_power_per_km(&p, 0, Meters::new(500.0), EnergyStrategy::SleepModeRepeaters)
-            .total()
+        let manual = average_power_per_km(
+            &p,
+            0,
+            Meters::new(500.0),
+            EnergyStrategy::SleepModeRepeaters,
+        )
+        .total()
             * 0.5
-            + average_power_per_km(&p, 8, Meters::new(2400.0), EnergyStrategy::SleepModeRepeaters)
-                .total()
+            + average_power_per_km(
+                &p,
+                8,
+                Meters::new(2400.0),
+                EnergyStrategy::SleepModeRepeaters,
+            )
+            .total()
                 * 2.4;
         assert!((total.value() - manual.value()).abs() < 1e-9);
     }

@@ -6,8 +6,8 @@
 
 use corridor_deploy::{CorridorLayout, IsdOptimizer, IsdTable};
 use corridor_fronthaul::{ChainReport, FronthaulChain, MmWaveBand};
-use corridor_propagation::emf::{self, EmfLimit};
 use corridor_power::{DutyCycle, RepeaterBill};
+use corridor_propagation::emf::{self, EmfLimit};
 use corridor_solar::{climate, sizing, DailyLoadProfile, Location};
 use corridor_traffic::{ActivityTimeline, TrackSection};
 use corridor_units::{Dbm, Hours, Meters, WattHours, Watts};
@@ -50,12 +50,7 @@ pub fn fig3(params: &ScenarioParams) -> Vec<Fig3Sample> {
 /// # Panics
 ///
 /// Panics if the repeaters cannot be placed in the segment.
-pub fn fig3_with(
-    params: &ScenarioParams,
-    isd: Meters,
-    n: usize,
-    step: Meters,
-) -> Vec<Fig3Sample> {
+pub fn fig3_with(params: &ScenarioParams, isd: Meters, n: usize, step: Meters) -> Vec<Fig3Sample> {
     let layout = CorridorLayout::with_policy(isd, n, params.placement())
         .expect("paper geometry is placeable");
     let model = layout.snr_model(params.budget());
@@ -385,8 +380,16 @@ mod tests {
     #[test]
     fn headline_numbers_match_paper() {
         let h = headline_numbers(&params());
-        assert!((h.hp_duty_500m - 0.0285).abs() < 0.0002, "{}", h.hp_duty_500m);
-        assert!((h.hp_duty_2650m - 0.0966).abs() < 0.0002, "{}", h.hp_duty_2650m);
+        assert!(
+            (h.hp_duty_500m - 0.0285).abs() < 0.0002,
+            "{}",
+            h.hp_duty_500m
+        );
+        assert!(
+            (h.hp_duty_2650m - 0.0966).abs() < 0.0002,
+            "{}",
+            h.hp_duty_2650m
+        );
         assert!((h.repeater_average_power.value() - 5.17).abs() < 0.01);
         assert!((h.repeater_daily_energy.value() - 124.1).abs() < 0.1);
         assert!((h.savings_sleep_1 - 0.57).abs() < 0.01);

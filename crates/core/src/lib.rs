@@ -66,7 +66,9 @@ pub mod prelude {
     pub use corridor_link::{
         CoverageProfile, NrCarrier, SignalSource, SnrModel, ThroughputModel, UplinkBudget,
     };
-    pub use corridor_power::{catalog, DutyCycle, LoadDependentPower, OperatingState, RepeaterBill};
+    pub use corridor_power::{
+        catalog, DutyCycle, LoadDependentPower, OperatingState, RepeaterBill,
+    };
     pub use corridor_propagation::{CalibratedFriis, FreeSpace, PathLoss};
     pub use corridor_solar::{
         climate, sizing, Battery, DailyLoadProfile, OffGridSystem, PvArray, PvModule,

@@ -54,7 +54,10 @@ mod tests {
     fn all_in_figure_order() {
         assert_eq!(EnergyStrategy::ALL.len(), 3);
         assert_eq!(EnergyStrategy::ALL[0], EnergyStrategy::ContinuousRepeaters);
-        assert_eq!(EnergyStrategy::ALL[2], EnergyStrategy::SolarPoweredRepeaters);
+        assert_eq!(
+            EnergyStrategy::ALL[2],
+            EnergyStrategy::SolarPoweredRepeaters
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl Corridor {
 
     /// Total repeater service nodes on the line.
     pub fn service_node_count(&self) -> usize {
-        self.segments.iter().map(CorridorLayout::repeater_count).sum()
+        self.segments
+            .iter()
+            .map(CorridorLayout::repeater_count)
+            .sum()
     }
 
     /// Total donor nodes on the line (the paper's per-segment donor rule).
@@ -145,11 +148,7 @@ impl Corridor {
     /// The worst (minimum) SNR across all segments under `budget`,
     /// sampling each segment at `step`. Returns `None` for an empty
     /// corridor.
-    pub fn min_snr(
-        &self,
-        budget: &LinkBudget,
-        step: Meters,
-    ) -> Option<corridor_units::Db> {
+    pub fn min_snr(&self, budget: &LinkBudget, step: Meters) -> Option<corridor_units::Db> {
         self.segments
             .iter()
             .filter_map(|s| s.coverage_profile(budget, step).min_snr())
@@ -157,11 +156,7 @@ impl Corridor {
     }
 
     /// Coverage profiles for every segment, in track order.
-    pub fn coverage_profiles(
-        &self,
-        budget: &LinkBudget,
-        step: Meters,
-    ) -> Vec<CoverageProfile> {
+    pub fn coverage_profiles(&self, budget: &LinkBudget, step: Meters) -> Vec<CoverageProfile> {
         self.segments
             .iter()
             .map(|s| s.coverage_profile(budget, step))
@@ -247,7 +242,10 @@ mod tests {
         let c = Corridor::new();
         assert!(c.is_empty());
         assert_eq!(c.mast_count(), 0);
-        assert_eq!(c.min_snr(&LinkBudget::paper_default(), Meters::new(10.0)), None);
+        assert_eq!(
+            c.min_snr(&LinkBudget::paper_default(), Meters::new(10.0)),
+            None
+        );
         assert_eq!(c.total_length().meters(), Meters::ZERO);
     }
 

@@ -55,12 +55,12 @@ impl CoverageCriterion {
     /// Evaluates the criterion on a sampled profile.
     pub fn is_satisfied(&self, profile: &CoverageProfile, throughput: &ThroughputModel) -> bool {
         match *self {
-            CoverageCriterion::MinSnr(threshold) => profile
-                .min_snr()
-                .is_some_and(|snr| snr >= threshold),
-            CoverageCriterion::PeakEverywhere => profile
-                .min_snr()
-                .is_some_and(|snr| throughput.is_peak(snr)),
+            CoverageCriterion::MinSnr(threshold) => {
+                profile.min_snr().is_some_and(|snr| snr >= threshold)
+            }
+            CoverageCriterion::PeakEverywhere => {
+                profile.min_snr().is_some_and(|snr| throughput.is_peak(snr))
+            }
             CoverageCriterion::MeanSpectralEfficiency(min_se) => profile
                 .mean_spectral_efficiency()
                 .is_some_and(|se| se >= min_se),

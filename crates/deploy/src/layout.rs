@@ -87,7 +87,7 @@ impl CorridorLayout {
     pub fn snr_model(&self, budget: &LinkBudget) -> SnrModel<CalibratedFriis> {
         let hp = budget.hp_path_loss();
         let lp = budget.lp_path_loss();
-        let mut model = SnrModel::new(budget.carrier().clone())
+        let mut model = SnrModel::new(*budget.carrier())
             .with_noise_floor(budget.noise_floor())
             .with_terminal_noise_figure(budget.terminal_noise_figure())
             .with_source(SignalSource::new(Meters::ZERO, budget.hp_rstp(), hp))
@@ -103,12 +103,7 @@ impl CorridorLayout {
 
     /// Samples the coverage profile of this segment under `budget`.
     pub fn coverage_profile(&self, budget: &LinkBudget, step: Meters) -> CoverageProfile {
-        CoverageProfile::sample(
-            &self.snr_model(budget),
-            self.isd,
-            step,
-            budget.throughput(),
-        )
+        CoverageProfile::sample(&self.snr_model(budget), self.isd, step, budget.throughput())
     }
 }
 
@@ -139,12 +134,9 @@ mod tests {
 
     #[test]
     fn repeater_sources_carry_noise() {
-        let l = CorridorLayout::with_policy(
-            Meters::new(1250.0),
-            1,
-            &PlacementPolicy::paper_default(),
-        )
-        .unwrap();
+        let l =
+            CorridorLayout::with_policy(Meters::new(1250.0), 1, &PlacementPolicy::paper_default())
+                .unwrap();
         let model = l.snr_model(&LinkBudget::paper_default());
         let repeater = &model.sources()[2];
         assert!(repeater.emitted_noise().is_some());
@@ -164,12 +156,9 @@ mod tests {
     fn fig3_scenario_keeps_signal_above_minus_100dbm() {
         // the paper's Fig. 3: ISD 2400 m, 8 repeaters keep the total signal
         // above -100 dBm along the whole track
-        let l = CorridorLayout::with_policy(
-            Meters::new(2400.0),
-            8,
-            &PlacementPolicy::paper_default(),
-        )
-        .unwrap();
+        let l =
+            CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+                .unwrap();
         let p = l.coverage_profile(&LinkBudget::paper_default(), Meters::new(5.0));
         for s in p.samples() {
             assert!(
@@ -186,13 +175,10 @@ mod tests {
         let budget = LinkBudget::paper_default();
         let bare = CorridorLayout::conventional(Meters::new(2400.0))
             .coverage_profile(&budget, Meters::new(5.0));
-        let with_nodes = CorridorLayout::with_policy(
-            Meters::new(2400.0),
-            8,
-            &PlacementPolicy::paper_default(),
-        )
-        .unwrap()
-        .coverage_profile(&budget, Meters::new(5.0));
+        let with_nodes =
+            CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+                .unwrap()
+                .coverage_profile(&budget, Meters::new(5.0));
         assert!(with_nodes.min_snr().unwrap() > bare.min_snr().unwrap());
         assert!(bare.min_snr().unwrap().value() < 29.0);
         assert!(with_nodes.min_snr().unwrap().value() > 29.0);

@@ -148,10 +148,16 @@ impl fmt::Display for PlacementError {
                 write!(f, "node spacing {spacing} is not positive")
             }
             PlacementError::ClusterTooWide { span, isd } => {
-                write!(f, "node cluster of width {span} does not fit in segment of {isd}")
+                write!(
+                    f,
+                    "node cluster of width {span} does not fit in segment of {isd}"
+                )
             }
             PlacementError::OutOfSegment { position, isd } => {
-                write!(f, "position {position} lies outside the open segment (0, {isd})")
+                write!(
+                    f,
+                    "position {position} lies outside the open segment (0, {isd})"
+                )
             }
             PlacementError::WrongCount { expected, got } => {
                 write!(f, "expected {expected} custom positions, got {got}")
@@ -184,7 +190,10 @@ mod tests {
     #[test]
     fn single_node_centered() {
         let p = PlacementPolicy::paper_default();
-        assert_eq!(values(&p.positions(1, Meters::new(1250.0)).unwrap()), vec![625.0]);
+        assert_eq!(
+            values(&p.positions(1, Meters::new(1250.0)).unwrap()),
+            vec![625.0]
+        );
     }
 
     #[test]
@@ -220,7 +229,10 @@ mod tests {
         let miscount = PlacementPolicy::Custom(vec![Meters::new(300.0)]);
         assert!(matches!(
             miscount.positions(2, Meters::new(1200.0)),
-            Err(PlacementError::WrongCount { expected: 2, got: 1 })
+            Err(PlacementError::WrongCount {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -251,7 +263,10 @@ mod tests {
     #[test]
     fn positions_sorted_and_inside() {
         for n in 1..=10 {
-            for policy in [PlacementPolicy::paper_default(), PlacementPolicy::EvenlySpaced] {
+            for policy in [
+                PlacementPolicy::paper_default(),
+                PlacementPolicy::EvenlySpaced,
+            ] {
                 let isd = Meters::new(2650.0);
                 let pos = policy.positions(n, isd).unwrap();
                 assert_eq!(pos.len(), n);
@@ -266,7 +281,10 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        let err = PlacementError::WrongCount { expected: 3, got: 1 };
+        let err = PlacementError::WrongCount {
+            expected: 3,
+            got: 1,
+        };
         assert_eq!(err.to_string(), "expected 3 custom positions, got 1");
         fn assert_err<E: std::error::Error + Send + Sync>() {}
         assert_err::<PlacementError>();

@@ -244,8 +244,7 @@ mod tests {
 
     #[test]
     fn capped_at_search_range() {
-        let opt = optimizer()
-            .with_search_range(Meters::new(100.0), Meters::new(800.0));
+        let opt = optimizer().with_search_range(Meters::new(100.0), Meters::new(800.0));
         // n=1 could reach 1250 m but the range caps it
         assert_eq!(opt.max_isd(1), Some(Meters::new(800.0)));
     }

@@ -40,8 +40,7 @@ impl IsdTable {
     /// one to ten repeater nodes.
     pub fn paper() -> Self {
         let isds = [
-            500.0, 1250.0, 1450.0, 1600.0, 1800.0, 1950.0, 2100.0, 2250.0, 2400.0, 2500.0,
-            2650.0,
+            500.0, 1250.0, 1450.0, 1600.0, 1800.0, 1950.0, 2100.0, 2250.0, 2400.0, 2500.0, 2650.0,
         ];
         IsdTable {
             max_isd_by_n: isds.iter().map(|&v| Some(Meters::new(v))).collect(),
@@ -103,8 +102,7 @@ mod tests {
     fn paper_table_values() {
         let t = IsdTable::paper();
         let expected = [
-            500.0, 1250.0, 1450.0, 1600.0, 1800.0, 1950.0, 2100.0, 2250.0, 2400.0, 2500.0,
-            2650.0,
+            500.0, 1250.0, 1450.0, 1600.0, 1800.0, 1950.0, 2100.0, 2250.0, 2400.0, 2500.0, 2650.0,
         ];
         for (n, &isd) in expected.iter().enumerate() {
             assert_eq!(t.isd_for(n), Some(Meters::new(isd)), "n={n}");

@@ -1,8 +1,7 @@
 //! Property-based tests for deployment and optimization invariants.
 
 use corridor_deploy::{
-    CorridorLayout, CoverageCriterion, IsdOptimizer, LinkBudget, PlacementPolicy,
-    SegmentInventory,
+    CorridorLayout, CoverageCriterion, IsdOptimizer, LinkBudget, PlacementPolicy, SegmentInventory,
 };
 use corridor_units::{Db, Meters};
 use proptest::prelude::*;

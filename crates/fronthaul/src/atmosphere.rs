@@ -56,11 +56,7 @@ fn interpolate(f: f64, anchors: &[(f64, f64, f64)]) -> (f64, f64) {
 
 /// Total weather + gaseous excess attenuation over a hop of `distance`:
 /// `(γ_rain + γ_oxygen) · d`.
-pub fn excess_attenuation(
-    distance: Meters,
-    oxygen_db_per_km: Db,
-    rain_db_per_km: Db,
-) -> Db {
+pub fn excess_attenuation(distance: Meters, oxygen_db_per_km: Db, rain_db_per_km: Db) -> Db {
     let km = distance.kilometers().value();
     Db::new((oxygen_db_per_km.value() + rain_db_per_km.value()) * km)
 }

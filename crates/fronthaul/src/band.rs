@@ -51,12 +51,7 @@ impl MmWaveBand {
     /// # Panics
     ///
     /// Panics if the frequency is not in the mmWave range (24–300 GHz).
-    pub fn new(
-        name: &'static str,
-        frequency: Hertz,
-        max_eirp: Dbm,
-        oxygen_db_per_km: Db,
-    ) -> Self {
+    pub fn new(name: &'static str, frequency: Hertz, max_eirp: Dbm, oxygen_db_per_km: Db) -> Self {
         assert!(
             (24.0..=300.0).contains(&frequency.gigahertz()),
             "not a mmWave frequency"

@@ -183,7 +183,9 @@ mod tests {
     use super::*;
 
     fn fig3_positions() -> Vec<Meters> {
-        (0..8).map(|i| Meters::new(500.0 + 200.0 * i as f64)).collect()
+        (0..8)
+            .map(|i| Meters::new(500.0 + 200.0 * i as f64))
+            .collect()
     }
 
     #[test]
@@ -213,7 +215,7 @@ mod tests {
             .iter()
             .filter(|h| h.clear_sky_margin().value() > 0.0)
             .count();
-        assert!(feasible_hops >= 2 && feasible_hops < 8);
+        assert!((2..8).contains(&feasible_hops));
     }
 
     #[test]
@@ -226,7 +228,10 @@ mod tests {
         let lengths: Vec<f64> = chain.hops().iter().map(|h| h.distance().value()).collect();
         // left donor: 500 m to the first node, then 200 m gaps; mirrored
         // on the right side
-        assert_eq!(lengths, vec![500.0, 200.0, 200.0, 200.0, 500.0, 200.0, 200.0, 200.0]);
+        assert_eq!(
+            lengths,
+            vec![500.0, 200.0, 200.0, 200.0, 500.0, 200.0, 200.0, 200.0]
+        );
     }
 
     #[test]

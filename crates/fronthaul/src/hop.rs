@@ -211,15 +211,13 @@ mod tests {
 
     #[test]
     fn eirp_clamped_to_band_ceiling() {
-        let hop = FronthaulHop::paper_default(Meters::new(200.0))
-            .with_tx_eirp(Dbm::new(60.0));
+        let hop = FronthaulHop::paper_default(Meters::new(200.0)).with_tx_eirp(Dbm::new(60.0));
         assert_eq!(hop.tx_eirp(), Dbm::new(40.0));
     }
 
     #[test]
     fn dead_hop_has_zero_availability() {
-        let hop = FronthaulHop::paper_default(Meters::new(200.0))
-            .with_required_snr(Db::new(90.0));
+        let hop = FronthaulHop::paper_default(Meters::new(200.0)).with_required_snr(Db::new(90.0));
         assert!(hop.clear_sky_margin().value() < 0.0);
         assert_eq!(hop.max_rain_rate_mm_h(), 0.0);
         assert_eq!(hop.rain_availability(), 0.0);

@@ -1,7 +1,7 @@
 //! mmWave out-of-band fronthaul for the repeater chain.
 //!
 //! The paper's repeater architecture (its Fig. 1, based on the authors'
-//! mmWave-bridge prototype, refs. [16], [17]) forwards the sub-6 GHz cell
+//! mmWave-bridge prototype, refs. \[16\], \[17\]) forwards the sub-6 GHz cell
 //! signal from a *donor* node at the high-power mast to the *service*
 //! nodes on catenary masts over an upconverted mmWave link — out-of-band,
 //! so no licensed sub-6 GHz spectrum is consumed and no donor/service

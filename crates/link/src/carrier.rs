@@ -120,7 +120,11 @@ impl Default for NrCarrier {
 
 impl fmt::Display for NrCarrier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} NR carrier, {} subcarriers", self.bandwidth, self.subcarriers)
+        write!(
+            f,
+            "{} NR carrier, {} subcarriers",
+            self.bandwidth, self.subcarriers
+        )
     }
 }
 

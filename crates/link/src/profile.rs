@@ -77,9 +77,7 @@ impl CoverageProfile {
         let mut samples = Vec::with_capacity(n + 1);
         for i in 0..=n {
             let position = Meters::new((i as f64) * step.value()).min(length);
-            let signal = model
-                .total_signal_at(position)
-                .expect("model has sources");
+            let signal = model.total_signal_at(position).expect("model has sources");
             let noise = model.total_noise_at(position);
             let snr = signal - noise;
             samples.push(ProfileSample {

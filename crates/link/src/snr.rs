@@ -200,8 +200,11 @@ mod tests {
 
     #[test]
     fn second_source_never_decreases_snr_without_noise() {
-        let single = SnrModel::new(NrCarrier::paper_100mhz())
-            .with_source(SignalSource::new(Meters::ZERO, Dbm::new(28.81), hp_model()));
+        let single = SnrModel::new(NrCarrier::paper_100mhz()).with_source(SignalSource::new(
+            Meters::ZERO,
+            Dbm::new(28.81),
+            hp_model(),
+        ));
         let pair = hp_pair(500.0);
         for d in [50.0, 150.0, 250.0, 400.0] {
             let s1 = single.snr_at(Meters::new(d)).unwrap();
@@ -235,7 +238,11 @@ mod tests {
         assert_eq!(m.sources().len(), 2);
         assert_eq!(m.rsrp_per_source(Meters::new(100.0)).len(), 2);
         let mut m2 = m.clone();
-        m2.add_source(SignalSource::new(Meters::new(250.0), Dbm::new(4.81), lp_model()));
+        m2.add_source(SignalSource::new(
+            Meters::new(250.0),
+            Dbm::new(4.81),
+            lp_model(),
+        ));
         assert_eq!(m2.sources().len(), 3);
     }
 

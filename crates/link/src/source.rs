@@ -119,10 +119,7 @@ mod tests {
     #[test]
     fn rsrp_symmetric_around_source() {
         let s = lp_source();
-        assert_eq!(
-            s.rsrp_at(Meters::new(500.0)),
-            s.rsrp_at(Meters::new(700.0))
-        );
+        assert_eq!(s.rsrp_at(Meters::new(500.0)), s.rsrp_at(Meters::new(700.0)));
     }
 
     #[test]

@@ -100,12 +100,7 @@ impl UplinkBudget {
     /// sources.
     pub fn snr_at<M: PathLoss>(&self, model: &SnrModel<M>, at: Meters) -> Option<Db> {
         let rstp = self.ue_rstp();
-        let received = sum_power_dbm(
-            model
-                .sources()
-                .iter()
-                .map(|s| rstp - s.attenuation_to(at)),
-        )?;
+        let received = sum_power_dbm(model.sources().iter().map(|s| rstp - s.attenuation_to(at)))?;
         let noise = model.noise_floor() + self.receiver_noise_figure;
         Some(received - noise)
     }
@@ -209,7 +204,10 @@ mod tests {
         let empty: SnrModel<CalibratedFriis> = SnrModel::new(NrCarrier::paper_100mhz());
         let budget = UplinkBudget::paper_default();
         assert_eq!(budget.snr_at(&empty, Meters::ZERO), None);
-        assert_eq!(budget.min_snr(&empty, Meters::new(100.0), Meters::new(10.0)), None);
+        assert_eq!(
+            budget.min_snr(&empty, Meters::new(100.0), Meters::new(10.0)),
+            None
+        );
     }
 
     #[test]

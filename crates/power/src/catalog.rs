@@ -14,12 +14,7 @@ use crate::LoadDependentPower;
 /// assert_eq!(catalog::high_power_rrh().full_load_power().value(), 280.0);
 /// ```
 pub fn high_power_rrh() -> LoadDependentPower {
-    LoadDependentPower::new(
-        Watts::new(40.0),
-        Watts::new(168.0),
-        2.8,
-        Watts::new(112.0),
-    )
+    LoadDependentPower::new(Watts::new(40.0), Watts::new(168.0), 2.8, Watts::new(112.0))
 }
 
 /// A full corridor mast: two high-power RRHs mounted back-to-back.
@@ -59,7 +54,12 @@ pub fn onboard_relay() -> LoadDependentPower {
 /// A regular (non-corridor) macro cell site: 3200 W average consumption
 /// (paper Section I), used for context in energy comparisons.
 pub fn macro_site() -> LoadDependentPower {
-    LoadDependentPower::new(Watts::new(80.0), Watts::new(2976.0), 2.8, Watts::new(1600.0))
+    LoadDependentPower::new(
+        Watts::new(80.0),
+        Watts::new(2976.0),
+        2.8,
+        Watts::new(1600.0),
+    )
 }
 
 #[cfg(test)]

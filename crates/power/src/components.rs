@@ -78,16 +78,66 @@ impl RepeaterBill {
         use ComponentRole::{Common, Downlink, Uplink};
         let w = Watts::new;
         let components = vec![
-            RepeaterComponent { name: "Controller", role: Common, active: w(2.0), sleep: w(2.0) },
-            RepeaterComponent { name: "GNSS DOCXO", role: Common, active: w(2.22), sleep: w(2.22) },
-            RepeaterComponent { name: "Local Oscillator", role: Common, active: w(5.0), sleep: w(0.5) },
-            RepeaterComponent { name: "Frequency Doubler", role: Common, active: w(0.35), sleep: w(0.0) },
-            RepeaterComponent { name: "RF Switches", role: Common, active: w(0.195), sleep: w(0.0) },
-            RepeaterComponent { name: "RX LNA", role: Downlink, active: w(0.27), sleep: w(0.0) },
-            RepeaterComponent { name: "TX PA", role: Downlink, active: w(5.0), sleep: w(0.0) },
-            RepeaterComponent { name: "RX LNA", role: Uplink, active: w(0.462), sleep: w(0.0) },
-            RepeaterComponent { name: "Second RX LNA", role: Uplink, active: w(0.335), sleep: w(0.0) },
-            RepeaterComponent { name: "TX PA", role: Uplink, active: w(5.0), sleep: w(0.0) },
+            RepeaterComponent {
+                name: "Controller",
+                role: Common,
+                active: w(2.0),
+                sleep: w(2.0),
+            },
+            RepeaterComponent {
+                name: "GNSS DOCXO",
+                role: Common,
+                active: w(2.22),
+                sleep: w(2.22),
+            },
+            RepeaterComponent {
+                name: "Local Oscillator",
+                role: Common,
+                active: w(5.0),
+                sleep: w(0.5),
+            },
+            RepeaterComponent {
+                name: "Frequency Doubler",
+                role: Common,
+                active: w(0.35),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "RF Switches",
+                role: Common,
+                active: w(0.195),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "RX LNA",
+                role: Downlink,
+                active: w(0.27),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "TX PA",
+                role: Downlink,
+                active: w(5.0),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "RX LNA",
+                role: Uplink,
+                active: w(0.462),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "Second RX LNA",
+                role: Uplink,
+                active: w(0.335),
+                sleep: w(0.0),
+            },
+            RepeaterComponent {
+                name: "TX PA",
+                role: Uplink,
+                active: w(5.0),
+                sleep: w(0.0),
+            },
         ];
         RepeaterBill {
             components,
@@ -201,7 +251,10 @@ mod tests {
         assert_eq!(bill.dl_paths(), 2);
         assert_eq!(bill.ul_paths(), 2);
         assert_eq!(bill.components_with_role(ComponentRole::Common).count(), 5);
-        assert_eq!(bill.components_with_role(ComponentRole::Downlink).count(), 2);
+        assert_eq!(
+            bill.components_with_role(ComponentRole::Downlink).count(),
+            2
+        );
         assert_eq!(bill.components_with_role(ComponentRole::Uplink).count(), 3);
     }
 

@@ -217,7 +217,9 @@ mod tests {
         let model = catalog::low_power_repeater();
         let hourly = DutyCycle::new(Hours::new(0.019), Hours::ZERO, Hours::new(1.0)).unwrap();
         let daily = DutyCycle::over_day(Hours::new(0.456), Hours::ZERO);
-        assert!((hourly.daily_energy(&model).value() - daily.daily_energy(&model).value()).abs() < 1e-9);
+        assert!(
+            (hourly.daily_energy(&model).value() - daily.daily_energy(&model).value()).abs() < 1e-9
+        );
     }
 
     #[test]

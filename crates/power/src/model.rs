@@ -122,9 +122,7 @@ impl LoadDependentPower {
         match state {
             OperatingState::Sleep => self.p_sleep,
             OperatingState::Idle => self.p0,
-            OperatingState::Active(load) => {
-                self.p0 + self.p_max * (self.delta_p * load.value())
-            }
+            OperatingState::Active(load) => self.p0 + self.p_max * (self.delta_p * load.value()),
         }
     }
 

@@ -69,7 +69,7 @@ impl PathLoss for FreeSpace {
 /// A fixed calibration factor accounts for antenna-dependent losses into the
 /// train wagons: 33 dB for the high-power RRH link and 20 dB for the
 /// low-power repeater link in the paper (in line with the measurement
-/// campaigns of refs. [17], [18]).
+/// campaigns of refs. \[17\], \[18\]).
 ///
 /// # Examples
 ///
@@ -193,8 +193,7 @@ mod tests {
         let calib = CalibratedFriis::new(Hertz::from_ghz(3.7), Db::new(20.0));
         let base = FreeSpace::new(Hertz::from_ghz(3.7));
         for d in [1.0, 50.0, 500.0, 2650.0] {
-            let delta =
-                calib.attenuation(Meters::new(d)) - base.attenuation(Meters::new(d));
+            let delta = calib.attenuation(Meters::new(d)) - base.attenuation(Meters::new(d));
             assert!((delta.value() - 20.0).abs() < 1e-9);
         }
     }

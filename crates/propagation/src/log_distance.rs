@@ -117,8 +117,8 @@ mod tests {
 
     #[test]
     fn reference_distance_clamps() {
-        let ld = LogDistance::new(Hertz::from_ghz(3.5), 2.5)
-            .with_reference_distance(Meters::new(10.0));
+        let ld =
+            LogDistance::new(Hertz::from_ghz(3.5), 2.5).with_reference_distance(Meters::new(10.0));
         assert_eq!(ld.min_distance(), Meters::new(10.0));
         assert_eq!(
             ld.attenuation(Meters::new(2.0)),

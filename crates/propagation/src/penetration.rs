@@ -13,7 +13,7 @@ use corridor_units::{Db, Hertz};
 /// thermal insulation.
 ///
 /// Loss values follow the measurement literature cited by the paper
-/// (refs. [8], [9], [11]): plain windows ≈ 5 dB, coated ≈ 25–30 dB,
+/// (refs. \[8\], \[9\], \[11\]): plain windows ≈ 5 dB, coated ≈ 25–30 dB,
 /// FSS-treated ≈ 10 dB at 3.5 GHz with a mild frequency slope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

@@ -56,8 +56,7 @@ impl TwoRayGround {
     pub fn crossover_distance(&self) -> Meters {
         let lambda = self.free_space.frequency().wavelength().value();
         Meters::new(
-            4.0 * std::f64::consts::PI * self.tx_height.value() * self.rx_height.value()
-                / lambda,
+            4.0 * std::f64::consts::PI * self.tx_height.value() * self.rx_height.value() / lambda,
         )
     }
 

@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn display() {
         let b = Battery::paper_default();
-        assert_eq!(b.to_string(), "battery 720.00 Wh (cutoff 40 %, SoC 100.0 %)");
+        assert_eq!(
+            b.to_string(),
+            "battery 720.00 Wh (cutoff 40 %, SoC 100.0 %)"
+        );
     }
 
     #[test]

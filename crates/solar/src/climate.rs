@@ -147,9 +147,7 @@ pub fn madrid() -> Location {
     Location::new(
         "Madrid",
         40.4,
-        [
-            2.1, 3.0, 4.4, 5.4, 6.4, 7.3, 7.6, 6.7, 5.0, 3.3, 2.3, 1.9,
-        ],
+        [2.1, 3.0, 4.4, 5.4, 6.4, 7.3, 7.6, 6.7, 5.0, 3.3, 2.3, 1.9],
         [
             6.0, 8.0, 11.0, 13.0, 18.0, 23.0, 26.0, 26.0, 21.0, 15.0, 9.0, 6.0,
         ],
@@ -162,9 +160,7 @@ pub fn lyon() -> Location {
     Location::new(
         "Lyon",
         45.8,
-        [
-            1.4, 2.2, 3.2, 4.3, 5.2, 6.0, 6.2, 5.3, 3.9, 2.5, 1.6, 1.25,
-        ],
+        [1.4, 2.2, 3.2, 4.3, 5.2, 6.0, 6.2, 5.3, 3.9, 2.5, 1.6, 1.25],
         [
             3.0, 5.0, 9.0, 12.0, 16.0, 20.0, 23.0, 22.0, 18.0, 13.0, 7.0, 4.0,
         ],
@@ -177,9 +173,7 @@ pub fn vienna() -> Location {
     Location::new(
         "Vienna",
         48.2,
-        [
-            0.9, 1.7, 2.9, 4.1, 5.1, 5.5, 5.5, 4.8, 3.4, 2.1, 1.0, 0.7,
-        ],
+        [0.9, 1.7, 2.9, 4.1, 5.1, 5.5, 5.5, 4.8, 3.4, 2.1, 1.0, 0.7],
         [
             0.0, 2.0, 6.0, 11.0, 15.0, 19.0, 21.0, 21.0, 16.0, 10.0, 5.0, 1.0,
         ],
@@ -192,9 +186,7 @@ pub fn berlin() -> Location {
     Location::new(
         "Berlin",
         52.5,
-        [
-            0.65, 1.3, 2.6, 3.9, 5.0, 5.4, 5.2, 4.5, 3.0, 1.6, 0.7, 0.55,
-        ],
+        [0.65, 1.3, 2.6, 3.9, 5.0, 5.4, 5.2, 4.5, 3.0, 1.6, 0.7, 0.55],
         [
             0.0, 1.0, 5.0, 10.0, 14.0, 18.0, 20.0, 19.0, 15.0, 10.0, 5.0, 2.0,
         ],

@@ -119,8 +119,7 @@ impl SolarGeometry {
         let sun_az = self.azimuth_deg(doy, hour).to_radians();
         let tilt = tilt_deg.to_radians();
         let plane_az = plane_azimuth_deg.to_radians();
-        let cos_inc =
-            elev.sin() * tilt.cos() + elev.cos() * tilt.sin() * (sun_az - plane_az).cos();
+        let cos_inc = elev.sin() * tilt.cos() + elev.cos() * tilt.sin() * (sun_az - plane_az).cos();
         cos_inc.max(0.0)
     }
 }

@@ -42,8 +42,8 @@
 #![warn(missing_docs)]
 
 mod battery;
-pub mod climate;
 mod clearsky;
+pub mod climate;
 mod geometry;
 mod load;
 mod offgrid;

@@ -120,12 +120,7 @@ impl OffGridSystem {
 
     /// A system with the paper's mounting (vertical, south-facing) and the
     /// default weather variability.
-    pub fn new(
-        location: Location,
-        pv: PvArray,
-        battery: Battery,
-        load: DailyLoadProfile,
-    ) -> Self {
+    pub fn new(location: Location, pv: PvArray, battery: Battery, load: DailyLoadProfile) -> Self {
         let geometry = SolarGeometry::at_latitude(location.latitude_deg());
         let persistence = location.overcast_persistence();
         OffGridSystem {
@@ -201,8 +196,8 @@ impl OffGridSystem {
 
         for doy in 1..=365u32 {
             let clear_daily = clear_sky.daily_ghi_wh_m2(doy).max(1.0);
-            let target_daily = self.location.ghi_for_doy_wh_m2(doy)
-                * multipliers[(doy - 1) as usize];
+            let target_daily =
+                self.location.ghi_for_doy_wh_m2(doy) * multipliers[(doy - 1) as usize];
             let kt = (target_daily / clear_daily).clamp(Self::KT_RANGE.0, Self::KT_RANGE.1);
             let ambient = self.location.temp_for_doy(doy);
 
@@ -210,8 +205,7 @@ impl OffGridSystem {
             let mut unmet_today = false;
             for hour in 0..24usize {
                 let poa = self.transposition.poa_w_m2(doy, hour as f64 + 0.5, kt);
-                let generation =
-                    WattHours::new(self.pv.output_power_w(poa, ambient));
+                let generation = WattHours::new(self.pv.output_power_w(poa, ambient));
                 let load = self.load.energy_at_hour(hour);
                 let step = battery.step(generation, load);
                 stats.generation += generation;
@@ -315,7 +309,10 @@ mod tests {
     #[test]
     fn consumption_matches_profile() {
         let stats = system(climate::madrid(), 3, 720.0).simulate_year(3);
-        let expected = DailyLoadProfile::repeater_paper_default().daily_energy().value() * 365.0;
+        let expected = DailyLoadProfile::repeater_paper_default()
+            .daily_energy()
+            .value()
+            * 365.0;
         assert!((stats.consumption().value() - expected).abs() < 1e-6);
     }
 

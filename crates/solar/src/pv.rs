@@ -160,14 +160,19 @@ impl PvArray {
     /// AC-side output power (watts) under `poa_w_m2` at ambient
     /// `ambient_c`, including system losses.
     pub fn output_power_w(&self, poa_w_m2: f64, ambient_c: f64) -> f64 {
-        self.module.dc_power_w(poa_w_m2, ambient_c) * f64::from(self.count)
-            * self.system_efficiency
+        self.module.dc_power_w(poa_w_m2, ambient_c) * f64::from(self.count) * self.system_efficiency
     }
 }
 
 impl fmt::Display for PvArray {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}x {} module(s), {} peak", self.count, self.module.peak(), self.peak())
+        write!(
+            f,
+            "{}x {} module(s), {} peak",
+            self.count,
+            self.module.peak(),
+            self.peak()
+        )
     }
 }
 

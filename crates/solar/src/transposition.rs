@@ -112,7 +112,9 @@ impl Transposition {
 
     /// Daily plane-of-array irradiation (Wh/m²) at clearness `kt`.
     pub fn daily_poa_wh_m2(&self, doy: u32, kt: f64) -> f64 {
-        (0..24).map(|h| self.poa_w_m2(doy, h as f64 + 0.5, kt)).sum()
+        (0..24)
+            .map(|h| self.poa_w_m2(doy, h as f64 + 0.5, kt))
+            .sum()
     }
 }
 
@@ -151,9 +153,7 @@ mod tests {
         // POA/GHI ratio is far higher in winter than in summer
         let plane = vertical(52.5);
         let sky = ClearSky::new(SolarGeometry::at_latitude(52.5));
-        let ratio = |doy: u32| {
-            plane.daily_poa_wh_m2(doy, 0.6) / (sky.daily_ghi_wh_m2(doy) * 0.6)
-        };
+        let ratio = |doy: u32| plane.daily_poa_wh_m2(doy, 0.6) / (sky.daily_ghi_wh_m2(doy) * 0.6);
         assert!(ratio(355) > 1.2, "winter ratio {}", ratio(355));
         assert!(ratio(172) < 0.6, "summer ratio {}", ratio(172));
     }

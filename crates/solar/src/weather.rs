@@ -103,8 +103,7 @@ impl WeatherGenerator {
                 let shock: f64 = self.rng.gen_range(-1.0..1.0);
                 anomaly = self.persistence * anomaly
                     + (1.0 - self.persistence * self.persistence).sqrt() * shock;
-                (1.0 + self.variability * anomaly)
-                    .clamp(Self::MIN_MULTIPLIER, Self::MAX_MULTIPLIER)
+                (1.0 + self.variability * anomaly).clamp(Self::MIN_MULTIPLIER, Self::MAX_MULTIPLIER)
             })
             .collect()
     }
@@ -144,8 +143,7 @@ mod tests {
         let mut w = WeatherGenerator::new(climate::berlin(), 5).with_variability(3.0);
         for m in w.daily_multipliers_for_year() {
             assert!(
-                (WeatherGenerator::MIN_MULTIPLIER..=WeatherGenerator::MAX_MULTIPLIER)
-                    .contains(&m)
+                (WeatherGenerator::MIN_MULTIPLIER..=WeatherGenerator::MAX_MULTIPLIER).contains(&m)
             );
         }
     }
@@ -156,10 +154,7 @@ mod tests {
         let mut w = WeatherGenerator::new(climate::berlin(), 11).with_persistence(0.9);
         let year = w.daily_multipliers_for_year();
         let mean: f64 = year.iter().sum::<f64>() / 365.0;
-        let num: f64 = year
-            .windows(2)
-            .map(|p| (p[0] - mean) * (p[1] - mean))
-            .sum();
+        let num: f64 = year.windows(2).map(|p| (p[0] - mean) * (p[1] - mean)).sum();
         let den: f64 = year.iter().map(|m| (m - mean) * (m - mean)).sum();
         assert!(num / den > 0.3, "lag-1 autocorrelation {}", num / den);
     }

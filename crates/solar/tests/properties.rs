@@ -1,8 +1,8 @@
 //! Property-based tests for the solar substrate.
 
 use corridor_solar::{
-    climate, Battery, ClearSky, DailyLoadProfile, Location, OffGridSystem, PvArray,
-    SolarGeometry, Transposition, WeatherGenerator,
+    climate, Battery, ClearSky, DailyLoadProfile, Location, OffGridSystem, PvArray, SolarGeometry,
+    Transposition, WeatherGenerator,
 };
 use corridor_units::{WattHours, Watts};
 use proptest::prelude::*;
@@ -118,7 +118,7 @@ proptest! {
         prop_assert_eq!(a, b);
         let expected = DailyLoadProfile::repeater_paper_default().daily_energy().value() * 365.0;
         prop_assert!((a.consumption().value() - expected).abs() < 1e-6);
-        prop_assert!(a.full_battery_days() + 0 <= 365);
+        prop_assert!(a.full_battery_days() <= 365);
         prop_assert!(a.downtime_days() <= 365);
     }
 

@@ -52,10 +52,8 @@ impl ActivityTimeline {
     /// Builds a timeline from raw `(start, end)` intervals; inverted
     /// intervals are discarded, the rest sorted and merged.
     pub fn from_intervals<I: IntoIterator<Item = (Seconds, Seconds)>>(intervals: I) -> Self {
-        let mut raw: Vec<(Seconds, Seconds)> = intervals
-            .into_iter()
-            .filter(|(s, e)| e > s)
-            .collect();
+        let mut raw: Vec<(Seconds, Seconds)> =
+            intervals.into_iter().filter(|(s, e)| e > s).collect();
         raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are never NaN"));
         let mut merged: Vec<(Seconds, Seconds)> = Vec::with_capacity(raw.len());
         for (start, end) in raw {
@@ -90,7 +88,7 @@ impl ActivityTimeline {
     }
 
     /// Total full-load time in hours (the input to a
-    /// [`DutyCycle`](corridor_power::DutyCycle)-style energy computation).
+    /// `DutyCycle`-style energy computation in `corridor_power`).
     pub fn total_active_hours(&self) -> Hours {
         self.total_active().hours()
     }
@@ -219,17 +217,10 @@ mod tests {
             Meters::new(200.0),
             corridor_units::KilometersPerHour::new(100.0).meters_per_second(),
         );
-        let slow = Timetable::new(
-            8.0,
-            Hours::new(19.0),
-            Hours::new(5.0).seconds(),
-            slow_train,
-        );
+        let slow = Timetable::new(8.0, Hours::new(19.0), Hours::new(5.0).seconds(), slow_train);
         let section = TrackSection::new(Meters::ZERO, Meters::new(500.0));
-        let fast_total =
-            ActivityTimeline::for_section(&section, &fast.passes()).total_active();
-        let slow_total =
-            ActivityTimeline::for_section(&section, &slow.passes()).total_active();
+        let fast_total = ActivityTimeline::for_section(&section, &fast.passes()).total_active();
+        let slow_total = ActivityTimeline::for_section(&section, &slow.passes()).total_active();
         // slower trains spend longer in the section despite being shorter
         assert!(slow_total > fast_total);
     }

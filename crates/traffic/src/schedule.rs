@@ -92,9 +92,7 @@ impl Timetable {
         let n = self.trains_per_day();
         let headway = Seconds::new(3600.0 / self.trains_per_hour);
         (0..n)
-            .map(|i| {
-                TrainPass::new(self.train, self.service_start + headway * i as f64)
-            })
+            .map(|i| TrainPass::new(self.train, self.service_start + headway * i as f64))
             .collect()
     }
 }
@@ -222,12 +220,7 @@ mod tests {
 
     #[test]
     fn fractional_rates_round() {
-        let t = Timetable::new(
-            2.5,
-            Hours::new(10.0),
-            Seconds::ZERO,
-            Train::paper_default(),
-        );
+        let t = Timetable::new(2.5, Hours::new(10.0), Seconds::ZERO, Train::paper_default());
         assert_eq!(t.trains_per_day(), 25);
     }
 

@@ -1,8 +1,7 @@
 //! Property-based tests for traffic and occupancy invariants.
 
 use corridor_traffic::{
-    ActivityTimeline, PoissonTimetable, Timetable, TrackSection, Train, TrainPass,
-    WakeController,
+    ActivityTimeline, PoissonTimetable, Timetable, TrackSection, Train, TrainPass, WakeController,
 };
 use corridor_units::{Hours, KilometersPerHour, Meters, Seconds};
 use proptest::prelude::*;

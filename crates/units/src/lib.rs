@@ -56,7 +56,7 @@ pub use time::{Hours, Seconds, HOURS_PER_DAY, SECONDS_PER_HOUR};
 /// ```
 pub mod prelude {
     pub use crate::{
-        sum_power_dbm, Db, Dbm, Hertz, Hours, Kilometers, KilometersPerHour, LoadFraction,
-        Meters, MetersPerSecond, Seconds, WattHours, Watts,
+        sum_power_dbm, Db, Dbm, Hertz, Hours, Kilometers, KilometersPerHour, LoadFraction, Meters,
+        MetersPerSecond, Seconds, WattHours, Watts,
     };
 }

@@ -12,8 +12,8 @@ fn main() {
     let params = ScenarioParams::paper_default();
 
     // sweep the achievable ISD per node count with the calibrated model
-    let optimizer = IsdOptimizer::new(params.budget().clone())
-        .with_placement(params.placement().clone());
+    let optimizer =
+        IsdOptimizer::new(params.budget().clone()).with_placement(params.placement().clone());
     let table = optimizer.sweep(10);
     println!("achievable inter-site distances (computed):\n{table}");
 
@@ -25,17 +25,11 @@ fn main() {
         "{:>6} {:>9} {:>10} {:>12} {:>10}",
         "nodes", "ISD [m]", "masts", "MWh/year", "savings"
     );
-    let baseline = energy::conventional_baseline(&params).total().value()
-        * LINE_KM
-        * hours_per_year
-        / 1e6;
+    let baseline =
+        energy::conventional_baseline(&params).total().value() * LINE_KM * hours_per_year / 1e6;
     for (n, isd) in table.iter() {
-        let deployment = energy::average_power_per_km(
-            &params,
-            n,
-            isd,
-            EnergyStrategy::SleepModeRepeaters,
-        );
+        let deployment =
+            energy::average_power_per_km(&params, n, isd, EnergyStrategy::SleepModeRepeaters);
         let mwh_year = deployment.total().value() * LINE_KM * hours_per_year / 1e6;
         let masts = (LINE_KM * 1000.0 / isd.value()).ceil() as usize + 1;
         let savings = 1.0 - mwh_year / baseline;
@@ -55,12 +49,16 @@ fn main() {
     println!("\nselected plan: {n} repeater(s) per segment at ISD {isd}");
     println!("  segments:        {segments}");
     println!("  HP masts:        {}", segments + 1);
-    println!("  service nodes:   {}", segments * inventory.service_nodes());
+    println!(
+        "  service nodes:   {}",
+        segments * inventory.service_nodes()
+    );
     println!("  donor nodes:     {}", segments * inventory.donor_nodes());
     println!("  annual energy:   {mwh:.1} MWh (baseline {baseline:.1} MWh)");
 
     // if the repeaters go solar, the repeater share of that energy is zero
-    let solar = energy::average_power_per_km(&params, n, isd, EnergyStrategy::SolarPoweredRepeaters);
+    let solar =
+        energy::average_power_per_km(&params, n, isd, EnergyStrategy::SolarPoweredRepeaters);
     let solar_mwh = solar.total().value() * LINE_KM * hours_per_year / 1e6;
     println!(
         "  with solar nodes: {solar_mwh:.1} MWh ({:.1} % below baseline)",
@@ -68,8 +66,8 @@ fn main() {
     );
 
     // verify the selected plan really keeps peak throughput
-    let layout = CorridorLayout::with_policy(isd, n, params.placement())
-        .expect("plan is placeable");
+    let layout =
+        CorridorLayout::with_policy(isd, n, params.placement()).expect("plan is placeable");
     let profile = layout.coverage_profile(params.budget(), Meters::new(5.0));
     println!(
         "  coverage check:  min SNR {:.1} dB (peak requires ≥ 29 dB)",

@@ -9,12 +9,9 @@ use railway_corridor::propagation::{PenetrationLoss, WindowTreatment};
 
 fn main() {
     let budget = LinkBudget::paper_default();
-    let layout = CorridorLayout::with_policy(
-        Meters::new(2400.0),
-        8,
-        &PlacementPolicy::paper_default(),
-    )
-    .expect("Fig. 3 geometry");
+    let layout =
+        CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+            .expect("Fig. 3 geometry");
 
     println!("ISD 2400 m, 8 low-power repeaters (o = repeater, M = mast)\n");
     let profile = layout.coverage_profile(&budget, Meters::new(25.0));
@@ -24,7 +21,7 @@ fn main() {
     const BOTTOM: f64 = -130.0;
     const ROWS: usize = 28;
     let row_of = |dbm: f64| -> Option<usize> {
-        if dbm > TOP || dbm < BOTTOM {
+        if !(BOTTOM..=TOP).contains(&dbm) {
             return None;
         }
         Some(((TOP - dbm) / (TOP - BOTTOM) * (ROWS as f64 - 1.0)).round() as usize)

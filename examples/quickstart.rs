@@ -19,12 +19,9 @@ fn main() {
     }
 
     // 2. A single coverage profile: the paper's Fig. 3 scenario.
-    let layout = CorridorLayout::with_policy(
-        Meters::new(2400.0),
-        8,
-        &PlacementPolicy::paper_default(),
-    )
-    .expect("8 nodes fit in 2400 m");
+    let layout =
+        CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+            .expect("8 nodes fit in 2400 m");
     let profile = layout.coverage_profile(&budget, Meters::new(5.0));
     println!(
         "\nISD 2400 m with 8 repeaters: min SNR {:.1} dB at {}, {:.0} % of track at peak rate",
@@ -41,9 +38,11 @@ fn main() {
         baseline.total().value()
     );
     for strategy in EnergyStrategy::ALL {
-        let savings =
-            energy::savings_vs_conventional(&params, &IsdTable::paper(), 10, strategy);
-        println!("  10 repeaters, {strategy}: {:.0} % savings", savings * 100.0);
+        let savings = energy::savings_vs_conventional(&params, &IsdTable::paper(), 10, strategy);
+        println!(
+            "  10 repeaters, {strategy}: {:.0} % savings",
+            savings * 100.0
+        );
     }
 
     // 4. The solar side: can the repeaters run off-grid?
@@ -54,7 +53,5 @@ fn main() {
         DailyLoadProfile::repeater_paper_default(),
     );
     let stats = system.simulate_year(2);
-    println!(
-        "\nMadrid, 3 × 180 Wp vertical + 720 Wh battery: {stats}"
-    );
+    println!("\nMadrid, 3 × 180 Wp vertical + 720 Wh battery: {stats}");
 }

@@ -21,7 +21,10 @@ fn main() {
     for location in climate::paper_regions() {
         match sizing::size_for_zero_downtime(location.clone(), load.clone(), &options) {
             Some(fit) => println!("  {:8} -> {fit}", location.name()),
-            None => println!("  {:8} -> not solvable with the standard ladder", location.name()),
+            None => println!(
+                "  {:8} -> not solvable with the standard ladder",
+                location.name()
+            ),
         }
     }
 
@@ -51,7 +54,9 @@ fn main() {
         "Alpine valley",
         46.5,
         [0.8, 1.5, 2.8, 4.0, 4.9, 5.4, 5.6, 4.8, 3.5, 2.0, 0.9, 0.6],
-        [-2.0, 0.0, 4.0, 9.0, 13.0, 17.0, 19.0, 18.0, 14.0, 9.0, 3.0, -1.0],
+        [
+            -2.0, 0.0, 4.0, 9.0, 13.0, 17.0, 19.0, 18.0, 14.0, 9.0, 3.0, -1.0,
+        ],
     )
     .with_overcast_persistence(0.85);
     println!("\ncustom site:");
@@ -64,7 +69,10 @@ fn main() {
     println!("\nten January days of synthetic Berlin weather (GHI multipliers):");
     let mut weather = WeatherGenerator::new(climate::berlin(), 10);
     let multipliers = weather.daily_multipliers_for_year();
-    let days: Vec<String> = multipliers[..10].iter().map(|m| format!("{m:.2}")).collect();
+    let days: Vec<String> = multipliers[..10]
+        .iter()
+        .map(|m| format!("{m:.2}"))
+        .collect();
     println!("  {}", days.join("  "));
 }
 

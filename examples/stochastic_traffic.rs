@@ -14,10 +14,8 @@ fn main() {
     let section_lp = TrackSection::around(isd / 2.0, params.lp_spacing());
 
     // 1. Deterministic vs Poisson occupancy for the same mean rate.
-    let deterministic = ActivityTimeline::for_section(
-        &section_hp,
-        &Timetable::paper_default().passes(),
-    );
+    let deterministic =
+        ActivityTimeline::for_section(&section_hp, &Timetable::paper_default().passes());
     println!(
         "deterministic timetable: HP mast active {:.3} h/day ({:.2} % duty)",
         deterministic.total_active_hours().value(),
@@ -54,7 +52,10 @@ fn main() {
             10,
             EnergyStrategy::SleepModeRepeaters,
         );
-        println!("  {trains_per_hour:>5.0} trains/h: {:.1} % savings", savings * 100.0);
+        println!(
+            "  {trains_per_hour:>5.0} trains/h: {:.1} % savings",
+            savings * 100.0
+        );
     }
 
     // 3. Wake latency: how much coverage time is lost per pass, and how
@@ -68,7 +69,10 @@ fn main() {
         let with_wake = ActivityTimeline::for_section_with_wake(
             &section_lp,
             &Timetable::paper_default().passes(),
-            &WakeController::new(Seconds::new(delay_ms / 1000.0), Seconds::new(delay_ms / 1000.0)),
+            &WakeController::new(
+                Seconds::new(delay_ms / 1000.0),
+                Seconds::new(delay_ms / 1000.0),
+            ),
         );
         let extra = with_wake.total_active_hours().value()
             - ActivityTimeline::for_section(&section_lp, &Timetable::paper_default().passes())

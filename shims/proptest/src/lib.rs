@@ -1,0 +1,470 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses.
+//!
+//! The build environment is offline, so the real `proptest` cannot be
+//! fetched from crates.io. This shim keeps the property tests *runnable*:
+//! every [`proptest!`] test body is executed against a deterministic
+//! stream of random cases (seeded from the test name, so failures
+//! reproduce across runs). What it does **not** do is shrink failing
+//! inputs — a failure reports the assertion only.
+//!
+//! Supported surface: range strategies over the primitive numerics,
+//! tuples of strategies, [`Just`], [`Strategy::prop_map`],
+//! [`prop::collection::vec`], [`prop_oneof!`], and the
+//! `prop_assert*` macros.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // Sampling a strategy directly:
+//! let strat = (0.0..1.0f64).prop_map(|x| x * 10.0);
+//! let mut rng = proptest::test_rng("doc");
+//! let x = strat.generate(&mut rng);
+//! assert!((0.0..10.0).contains(&x));
+//!
+//! // In a test module, `proptest! { #[test] fn prop(a in 0.0..1.0f64) { … } }`
+//! // expands each body into a 64-case `#[test]`.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// Number of random cases each [`proptest!`] test executes.
+pub const CASES: u32 = 64;
+
+/// A deterministic per-test generator, seeded from the test's name so
+/// every run (and every CI machine) sees the same cases.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable, dependency-free.
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A generator of values for property tests.
+///
+/// The shim collapses proptest's value-tree machinery to a single
+/// `generate` call: no shrinking, just sampling.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy producing `f` applied to this strategy's values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_strategy_for_inclusive_int_range {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                match end.checked_add(1) {
+                    Some(bound) => rng.gen_range(start..bound),
+                    // end == MAX and the half-open trick would overflow:
+                    None if start == 0 => {
+                        // full type range — truncating a raw draw is uniform
+                        // (the cast is a no-op only for the u64 instantiation)
+                        #[allow(clippy::unnecessary_cast)]
+                        {
+                            rand::RngCore::next_u64(rng) as $t
+                        }
+                    }
+                    // start > 0: shift down one and round back up
+                    None => rng.gen_range(start - 1..end) + 1,
+                }
+            }
+        }
+    )+};
+}
+
+impl_strategy_for_inclusive_int_range!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        if self.start() == self.end() {
+            *self.start()
+        } else {
+            rng.gen_range(*self.start()..*self.end())
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy combinators that need a concrete type (used by the macros).
+pub mod strategy {
+    use super::{StdRng, Strategy};
+
+    /// Boxes a strategy, erasing its concrete type (helper for
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A uniform choice among several strategies of the same value type.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+}
+
+/// The `prop::` namespace the prelude exposes (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use core::ops::Range;
+
+        use super::super::{StdRng, Strategy};
+
+        /// A strategy for `Vec`s whose elements come from `element` and
+        /// whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The strategy returned by [`vec()`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rand::Rng::gen_range(rng, self.size.start..self.size.end);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Marker returned (via `Err`) by [`prop_assume!`] to reject a case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseReject;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` against [`CASES`] accepted inputs.
+///
+/// Each case body runs inside a closure returning
+/// `Result<(), `[`CaseReject`]`>`, so [`prop_assume!`] rejects the whole
+/// case from any nesting depth (mirroring real proptest's early return).
+/// Rejected cases don't count towards [`CASES`]; if fewer than 1 in 16
+/// draws are accepted overall, the test panics instead of silently
+/// passing on almost no inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < $crate::CASES {
+                    attempts += 1;
+                    assert!(
+                        attempts <= $crate::CASES * 16,
+                        "proptest shim: too many prop_assume! rejections in {} \
+                         ({} accepted after {} attempts)",
+                        stringify!($name),
+                        accepted,
+                        attempts - 1,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let case = move || -> ::core::result::Result<(), $crate::CaseReject> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if case().is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// A uniform choice among strategies: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($option)),+
+        ])
+    };
+}
+
+/// Rejects the current case when `cond` is false: early-returns
+/// [`CaseReject`] from the case closure generated by [`proptest!`], so it
+/// works at any nesting depth (including inside loops in the test body).
+#[macro_export]
+macro_rules! prop_assume {
+    // match instead of `if !cond` so float conditions don't trip clippy's
+    // neg_cmp_op_on_partial_ord at every expansion site
+    ($cond:expr) => {
+        match $cond {
+            true => {}
+            false => return ::core::result::Result::Err($crate::CaseReject),
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = crate::test_rng("ranges_sample_within_bounds");
+        for _ in 0..1000 {
+            let x = (1.5..9.5f64).generate(&mut rng);
+            assert!((1.5..9.5).contains(&x));
+            let n = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&n));
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_endpoints_and_full_type_range() {
+        let mut rng = crate::test_rng("inclusive_ranges");
+        let mut saw_end = false;
+        for _ in 0..500 {
+            let x = (0u8..=3).generate(&mut rng);
+            assert!(x <= 3);
+            saw_end |= x == 3;
+            // full type ranges must not underflow/panic (end == MAX, start == 0)
+            let _ = (0u8..=u8::MAX).generate(&mut rng);
+            let _ = (0u64..=u64::MAX).generate(&mut rng);
+            // end == MAX with start > 0
+            let y = (250u8..=u8::MAX).generate(&mut rng);
+            assert!(y >= 250);
+        }
+        assert!(saw_end, "inclusive end never sampled");
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_rng("prop_map_applies");
+        let doubled = (1.0..2.0f64).prop_map(|x| x * 2.0);
+        let y = doubled.generate(&mut rng);
+        assert!((2.0..4.0).contains(&y));
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = crate::test_rng("vec_respects_length_range");
+        let strat = prop::collection::vec(0.0..1.0f64, 2..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = crate::test_rng("oneof_covers_all_arms");
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(strat.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        let a = (0.0..1.0f64).generate(&mut crate::test_rng("same"));
+        let b = (0.0..1.0f64).generate(&mut crate::test_rng("same"));
+        let c = (0.0..1.0f64).generate(&mut crate::test_rng("different"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        /// The macro itself: bindings, multiple args, trailing comma.
+        #[test]
+        fn macro_smoke(a in 0.0..10.0f64, b in 0usize..5,) {
+            prop_assert!(a >= 0.0);
+            prop_assert!(b < 5);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a - 1.0, a);
+        }
+
+        /// prop_assume! rejects the whole case even from inside a loop in
+        /// the body: the rejected half of the range must never reach the
+        /// assertion below the loop.
+        #[test]
+        fn assume_rejects_case_from_inner_loop(x in 0.0..1.0f64) {
+            for _ in 0..3 {
+                prop_assume!(x < 0.5);
+            }
+            prop_assert!(x < 0.5);
+        }
+    }
+
+    // no #[test] attribute: only the should_panic wrapper below runs this
+    proptest! {
+        fn assume_everything_rejected(_x in 0.0..1.0f64) {
+            prop_assume!(false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn impossible_assume_panics_instead_of_passing_empty() {
+        assume_everything_rejected();
+    }
+}

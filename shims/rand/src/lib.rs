@@ -1,0 +1,172 @@
+//! Minimal, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses.
+//!
+//! The build environment is offline, so the real `rand` cannot be fetched
+//! from crates.io. This shim provides a deterministic, seedable generator
+//! ([`rngs::StdRng`], a SplitMix64 core) and the tiny API surface the
+//! workspace relies on: [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over half-open ranges.
+//!
+//! The streams are *not* bit-compatible with the real `rand`; everything
+//! in the workspace that consumes randomness treats the stream as an
+//! opaque reproducible source, so only determinism matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{Rng, SeedableRng};
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen_range(-1.0..1.0);
+//! assert!((-1.0..1.0).contains(&x));
+//! // same seed, same stream
+//! let mut again = rand::rngs::StdRng::seed_from_u64(42);
+//! assert_eq!(again.gen_range(-1.0..1.0), x);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from the half-open range `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_in(range, self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// A generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range given one
+/// raw 64-bit draw.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps `raw` (uniform over `u64`) into `range`.
+    fn sample_in(range: Range<Self>, raw: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_in(range: Range<Self>, raw: u64) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        // 53 high bits -> uniform in [0, 1)
+        let unit = (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = range.start + (range.end - range.start) * unit;
+        // guard against rounding up to the excluded endpoint
+        if x < range.end {
+            x
+        } else {
+            range.start
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(range: Range<Self>, raw: u64) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (raw % span) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic SplitMix64 generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0f64), b.gen_range(0.0..1.0f64));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let a1: f64 = StdRng::seed_from_u64(7).gen_range(0.0..1.0);
+        assert_ne!(a1, c.gen_range(0.0..1.0));
+    }
+
+    #[test]
+    fn float_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn integer_samples_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_unsized_reference() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

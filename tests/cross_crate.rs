@@ -59,14 +59,12 @@ fn traffic_to_solar_pipeline() {
 /// physically expected direction.
 #[test]
 fn pathloss_families_order_the_isd() {
-    let base = IsdOptimizer::new(LinkBudget::paper_default())
-        .with_sample_step(Meters::new(10.0));
+    let base = IsdOptimizer::new(LinkBudget::paper_default()).with_sample_step(Meters::new(10.0));
     let friis_isd = base.max_isd(2).unwrap();
 
     // a harsher exponent via a higher equivalent calibration: +6 dB on
     // both links costs range
-    let harsh_budget = LinkBudget::paper_default()
-        .with_calibrations(Db::new(39.0), Db::new(26.0));
+    let harsh_budget = LinkBudget::paper_default().with_calibrations(Db::new(39.0), Db::new(26.0));
     let harsh = IsdOptimizer::new(harsh_budget).with_sample_step(Meters::new(10.0));
     let harsh_isd = harsh.max_isd(2).unwrap();
     assert!(harsh_isd < friis_isd);
@@ -92,7 +90,10 @@ fn donor_share_is_small() {
         EnergyStrategy::SleepModeRepeaters,
     );
     let donor_share = with.donor / with.total();
-    assert!(donor_share > 0.0 && donor_share < 0.10, "share {donor_share}");
+    assert!(
+        donor_share > 0.0 && donor_share < 0.10,
+        "share {donor_share}"
+    );
 }
 
 /// The wake controller integrates with the energy model: a 1 s barrier
@@ -105,10 +106,10 @@ fn wake_lead_energy_overhead_negligible() {
     let plain = ActivityTimeline::for_section(&section, &passes);
     let ctl = WakeController::paper_default();
     let waked = ActivityTimeline::for_section_with_wake(&section, &passes, &ctl);
-    let plain_e = DutyCycle::over_day(plain.total_active_hours(), Hours::ZERO)
-        .daily_energy(params.lp_node());
-    let waked_e = DutyCycle::over_day(waked.total_active_hours(), Hours::ZERO)
-        .daily_energy(params.lp_node());
+    let plain_e =
+        DutyCycle::over_day(plain.total_active_hours(), Hours::ZERO).daily_energy(params.lp_node());
+    let waked_e =
+        DutyCycle::over_day(waked.total_active_hours(), Hours::ZERO).daily_energy(params.lp_node());
     let overhead = (waked_e - plain_e) / plain_e;
     assert!(overhead < 0.01, "overhead {overhead}");
     assert!(waked_e >= plain_e);

@@ -67,18 +67,10 @@ fn headline_savings_window() {
 #[test]
 fn continuous_crossover_at_three_nodes() {
     let table = IsdTable::paper();
-    let s2 = energy::savings_vs_conventional(
-        &params(),
-        &table,
-        2,
-        EnergyStrategy::ContinuousRepeaters,
-    );
-    let s3 = energy::savings_vs_conventional(
-        &params(),
-        &table,
-        3,
-        EnergyStrategy::ContinuousRepeaters,
-    );
+    let s2 =
+        energy::savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters);
+    let s3 =
+        energy::savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters);
     assert!(s2 < 0.50 && s3 >= 0.50, "s2 = {s2}, s3 = {s3}");
 }
 
@@ -88,11 +80,7 @@ fn continuous_crossover_at_three_nodes() {
 fn isd_sweep_tracks_paper() {
     let sweep = experiments::isd_sweep(&params(), Meters::new(5.0));
     for n in 1..=4usize {
-        assert_eq!(
-            sweep.computed.isd_for(n),
-            sweep.paper.isd_for(n),
-            "n = {n}"
-        );
+        assert_eq!(sweep.computed.isd_for(n), sweep.paper.isd_for(n), "n = {n}");
     }
     for n in 5..=10usize {
         let computed = sweep.computed.isd_for(n).unwrap().value();
@@ -111,12 +99,9 @@ fn fig3_scenario_full_coverage() {
     for s in &samples {
         assert!(s.total_signal.value() > -100.0, "at {}", s.position);
     }
-    let layout = CorridorLayout::with_policy(
-        Meters::new(2400.0),
-        8,
-        &PlacementPolicy::paper_default(),
-    )
-    .unwrap();
+    let layout =
+        CorridorLayout::with_policy(Meters::new(2400.0), 8, &PlacementPolicy::paper_default())
+            .unwrap();
     let profile = layout.coverage_profile(p.budget(), Meters::new(5.0));
     assert_eq!(profile.fraction_at_peak(p.budget().throughput()), 1.0);
 }
@@ -129,13 +114,25 @@ fn fig3_scenario_full_coverage() {
 fn fig3_peaks_at_repeaters() {
     let samples = experiments::fig3(&params());
     // HP-only contribution decays monotonically after the mast
-    let hp_at_100 = samples.iter().find(|s| s.position.value() == 100.0).unwrap();
-    let hp_at_1200 = samples.iter().find(|s| s.position.value() == 1200.0).unwrap();
+    let hp_at_100 = samples
+        .iter()
+        .find(|s| s.position.value() == 100.0)
+        .unwrap();
+    let hp_at_1200 = samples
+        .iter()
+        .find(|s| s.position.value() == 1200.0)
+        .unwrap();
     assert!(hp_at_100.hp_left > hp_at_1200.hp_left);
     // at a repeater position the total signal is locally maximal vs the
     // midgap 100 m away
-    let at_node = samples.iter().find(|s| s.position.value() == 700.0).unwrap();
-    let midgap = samples.iter().find(|s| s.position.value() == 800.0).unwrap();
+    let at_node = samples
+        .iter()
+        .find(|s| s.position.value() == 700.0)
+        .unwrap();
+    let midgap = samples
+        .iter()
+        .find(|s| s.position.value() == 800.0)
+        .unwrap();
     assert!(at_node.total_signal > midgap.total_signal);
 }
 
