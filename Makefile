@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test doc quickstart bench-build results
+.PHONY: ci fmt-check clippy build test golden doc quickstart bench-build bench-sweep results
 
-ci: fmt-check clippy build test doc quickstart bench-build
+ci: fmt-check clippy build test golden doc quickstart bench-build bench-sweep
 
 fmt-check:
 	cargo fmt --all --check
@@ -18,6 +18,10 @@ build:
 test:
 	cargo test -q --workspace
 
+# Byte-exact regression against the committed reproduction outputs.
+golden:
+	cargo test -q --test golden_outputs
+
 doc:
 	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace
 
@@ -26,6 +30,10 @@ quickstart:
 
 bench-build:
 	cargo bench -p corridor_bench --no-run
+
+# Smoke-run the serial-vs-parallel sweep bench (prints the speedup line).
+bench-sweep:
+	cargo bench -q -p corridor_bench --bench sweep_parallel
 
 # Regenerate the committed reference outputs under docs/results/.
 results:

@@ -1,51 +1,9 @@
 //! Regenerates the paper's Fig. 3: signal and noise power values for
 //! d_ISD = 2400 m and N = 8 low-power repeater nodes.
-
-use corridor_bench::scenario;
-use corridor_core::report::TextTable;
-use corridor_core::{experiments, ScenarioParams};
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let params: ScenarioParams = scenario();
-    let samples = experiments::fig3(&params);
-
-    println!("Fig. 3 — signal and noise power, d_ISD = 2400 m, N = 8\n");
-    let mut table = TextTable::new(vec![
-        "pos [m]".into(),
-        "HP left [dBm]".into(),
-        "HP right [dBm]".into(),
-        "best LP [dBm]".into(),
-        "total signal [dBm]".into(),
-        "total noise [dBm]".into(),
-    ]);
-    for s in samples.iter().step_by(10) {
-        let best_lp = s
-            .lp_nodes
-            .iter()
-            .map(|p| p.value())
-            .fold(f64::NEG_INFINITY, f64::max);
-        table.add_row(vec![
-            format!("{:.0}", s.position.value()),
-            format!("{:.1}", s.hp_left.value()),
-            format!("{:.1}", s.hp_right.value()),
-            format!("{best_lp:.1}"),
-            format!("{:.1}", s.total_signal.value()),
-            format!("{:.1}", s.total_noise.value()),
-        ]);
-    }
-    println!("{}", table.render());
-
-    let min_signal = samples
-        .iter()
-        .map(|s| s.total_signal.value())
-        .fold(f64::INFINITY, f64::min);
-    println!("minimum total signal along the track: {min_signal:.1} dBm");
-    println!(
-        "paper claim: the signal power can be kept above -100 dBm -> {}",
-        if min_signal > -100.0 {
-            "REPRODUCED"
-        } else {
-            "NOT reproduced"
-        }
-    );
+    print!("{}", corridor_bench::render::fig3());
 }

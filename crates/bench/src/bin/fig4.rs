@@ -1,47 +1,10 @@
 //! Regenerates the paper's Fig. 4: average energy consumption per hour,
-//! normalized to 1 km, for the conventional corridor and 1–10 repeater
+//! normalized to 1 km, for the conventional corridor and 1-10 repeater
 //! nodes under the three operating strategies.
-
-use corridor_bench::{scenario, wh};
-use corridor_core::deploy::IsdTable;
-use corridor_core::report::TextTable;
-use corridor_core::units::Meters;
-use corridor_core::{experiments, ScenarioParams};
-
-fn render(params: &ScenarioParams, table: &IsdTable, label: &str) {
-    let rows = experiments::fig4(params, table);
-    let baseline = rows[0].sleep;
-    println!("Fig. 4 ({label}) — average energy [Wh] per hour per km\n");
-    let mut out = TextTable::new(vec![
-        "nodes".into(),
-        "ISD [m]".into(),
-        "continuous".into(),
-        "sleep".into(),
-        "solar".into(),
-        "saving cont.".into(),
-        "saving sleep".into(),
-        "saving solar".into(),
-    ]);
-    for row in &rows {
-        let savings = row.savings_vs(baseline);
-        out.add_row(vec![
-            row.n.to_string(),
-            format!("{:.0}", row.isd.value()),
-            wh(row.continuous.value()),
-            wh(row.sleep.value()),
-            wh(row.solar.value()),
-            format!("{:.1} %", savings[0] * 100.0),
-            format!("{:.1} %", savings[1] * 100.0),
-            format!("{:.1} %", savings[2] * 100.0),
-        ]);
-    }
-    println!("{}", out.render());
-}
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let params = scenario();
-    render(&params, &IsdTable::paper(), "paper ISD mapping");
-    let computed = experiments::isd_sweep(&params, Meters::new(5.0)).computed;
-    render(&params, &computed, "computed ISD mapping");
-    println!("paper claims: 57 %/74 % sleep-mode and 59 %/79 % solar savings at 1/10 nodes.");
+    print!("{}", corridor_bench::render::fig4());
 }

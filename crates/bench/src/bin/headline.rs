@@ -1,57 +1,8 @@
 //! Prints the paper's Section V headline numbers next to the model's.
-
-use corridor_bench::scenario;
-use corridor_core::experiments;
-use corridor_core::report::TextTable;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let h = experiments::headline_numbers(&scenario());
-    println!("headline numbers (Section V text)\n");
-    let mut table = TextTable::new(vec!["quantity".into(), "paper".into(), "this model".into()]);
-    let rows: Vec<(&str, &str, String)> = vec![
-        (
-            "HP full-load share, ISD 500 m",
-            "2.85 %",
-            format!("{:.2} %", h.hp_duty_500m * 100.0),
-        ),
-        (
-            "HP full-load share, ISD 2650 m",
-            "9.66 %",
-            format!("{:.2} %", h.hp_duty_2650m * 100.0),
-        ),
-        (
-            "repeater average power (sleep mode)",
-            "5.17 W",
-            format!("{:.2} W", h.repeater_average_power.value()),
-        ),
-        (
-            "repeater daily energy",
-            "124.1 Wh",
-            format!("{:.1} Wh", h.repeater_daily_energy.value()),
-        ),
-        (
-            "savings, 1 node, sleep mode",
-            "57 %",
-            format!("{:.1} %", h.savings_sleep_1 * 100.0),
-        ),
-        (
-            "savings, 10 nodes, sleep mode",
-            "74 %",
-            format!("{:.1} %", h.savings_sleep_10 * 100.0),
-        ),
-        (
-            "savings, 1 node, solar",
-            "59 %",
-            format!("{:.1} %", h.savings_solar_1 * 100.0),
-        ),
-        (
-            "savings, 10 nodes, solar",
-            "79 %",
-            format!("{:.1} %", h.savings_solar_10 * 100.0),
-        ),
-    ];
-    for (q, p, m) in rows {
-        table.add_row(vec![q.to_string(), p.to_string(), m]);
-    }
-    println!("{}", table.render());
+    print!("{}", corridor_bench::render::headline());
 }

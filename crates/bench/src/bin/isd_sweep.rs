@@ -1,36 +1,10 @@
-//! Regenerates the maximum-ISD list of Section V: for 0–10 repeater
+//! Regenerates the maximum-ISD list of Section V: for 0-10 repeater
 //! nodes, the largest inter-site distance that still delivers peak 5G NR
 //! throughput everywhere (SNR >= 29 dB).
-
-use corridor_bench::scenario;
-use corridor_core::experiments;
-use corridor_core::report::TextTable;
-use corridor_core::units::Meters;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let sweep = experiments::isd_sweep(&scenario(), Meters::new(5.0));
-    println!("maximum ISD per repeater count (50 m grid)\n");
-    let mut table = TextTable::new(vec![
-        "nodes".into(),
-        "computed [m]".into(),
-        "paper [m]".into(),
-        "delta".into(),
-    ]);
-    for n in 0..=10usize {
-        let computed = sweep.computed.isd_for(n);
-        let paper = sweep.paper.isd_for(n);
-        table.add_row(vec![
-            n.to_string(),
-            computed.map_or("-".into(), |m| format!("{:.0}", m.value())),
-            paper.map_or("-".into(), |m| format!("{:.0}", m.value())),
-            match (computed, paper) {
-                (Some(c), Some(p)) => format!("{:+.0}", c.value() - p.value()),
-                _ => "-".into(),
-            },
-        ]);
-    }
-    println!("{}", table.render());
-    println!("paper sequence: 1250 1450 1600 1800 1950 2100 2250 2400 2500 2650");
-    println!("(n = 0 is the model's own bound; the paper's 500 m reference is the");
-    println!("real-world deployment value, not a model output)");
+    print!("{}", corridor_bench::render::isd_sweep());
 }

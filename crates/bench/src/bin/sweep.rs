@@ -1,0 +1,199 @@
+//! Batch scenario sweeps: expands a Cartesian scenario grid and evaluates
+//! every cell on the worker pool, printing a summary and optionally
+//! writing the full per-cell report as CSV/JSON.
+//!
+//! ```console
+//! $ cargo run --release -p corridor_bench --bin sweep -- --help
+//! $ cargo run --release -p corridor_bench --bin sweep -- --workers 4 --csv sweep.csv
+//! ```
+//!
+//! The default grid is the 200-cell screening sweep (5 conventional ISDs
+//! × 5 timetable densities × 4 train speeds × 2 climates); `--demo` runs
+//! an 8-cell variant for a quick look. The parallel path produces results
+//! identical to `--serial` — only faster.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use corridor_core::report::TextTable;
+use corridor_core::solar::climate;
+use corridor_core::EnergyStrategy;
+use corridor_sim::{PvOutcome, ScenarioGrid, SweepEngine};
+
+const USAGE: &str = "\
+usage: sweep [options]
+
+options:
+  --workers N   worker threads (default: machine parallelism; 1 = serial path)
+  --serial      run on the calling thread (reference path)
+  --nodes N     repeaters per segment, 0-10 (default 10)
+  --no-pv       skip the per-cell PV sizing (the expensive step)
+  --demo        8-cell demo grid instead of the 200-cell screening grid
+  --csv PATH    write the per-cell report as CSV
+  --json PATH   write the per-cell report as JSON
+  --help        this text
+";
+
+struct Options {
+    workers: usize,
+    serial: bool,
+    nodes: usize,
+    pv: bool,
+    demo: bool,
+    csv: Option<String>,
+    json: Option<String>,
+}
+
+fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        workers: 0,
+        serial: false,
+        nodes: 10,
+        pv: true,
+        demo: false,
+        csv: None,
+        json: None,
+    };
+    let _ = args.next(); // binary name
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--serial" => opts.serial = true,
+            "--nodes" => {
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+                if opts.nodes > 10 {
+                    return Err("--nodes must be 0-10 (the paper's ISD table)".into());
+                }
+            }
+            "--no-pv" => opts.pv = false,
+            "--demo" => opts.demo = true,
+            "--csv" => opts.csv = Some(value("--csv")?),
+            "--json" => opts.json = Some(value("--json")?),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args()) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let grid = if opts.demo {
+        ScenarioGrid::new()
+            .trains_per_hour(vec![4.0, 8.0])
+            .train_speeds_kmh(vec![160.0, 200.0])
+            .locations(vec![climate::madrid(), climate::berlin()])
+    } else {
+        ScenarioGrid::screening_200()
+    }
+    .repeater_nodes(opts.nodes);
+
+    // resolve the worker count once and hand it to the engine, so the
+    // banner below always matches the pool that actually runs
+    let workers = if opts.serial {
+        1
+    } else if opts.workers == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.workers
+    };
+    let engine = SweepEngine::new().workers(workers).pv_sizing(opts.pv);
+
+    println!(
+        "sweep: {} cells ({} repeater nodes @ {:.0} m), {} worker{}, PV sizing {}",
+        grid.len(),
+        grid.nodes(),
+        grid.deployment_isd().value(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        if opts.pv { "on" } else { "off" },
+    );
+
+    let started = Instant::now();
+    let run = if opts.serial {
+        engine.run_serial(&grid)
+    } else {
+        engine.run(&grid)
+    };
+    let report = match run {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("sweep: invalid grid: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    println!(
+        "evaluated in {:.2} s ({:.0} cells/s)\n",
+        elapsed.as_secs_f64(),
+        report.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    let mut table = TextTable::new(vec![
+        "strategy".into(),
+        "mean saving".into(),
+        "best saving".into(),
+        "best cell".into(),
+    ]);
+    for (label, strategy) in [
+        ("continuous", EnergyStrategy::ContinuousRepeaters),
+        ("sleep mode", EnergyStrategy::SleepModeRepeaters),
+        ("solar", EnergyStrategy::SolarPoweredRepeaters),
+    ] {
+        let best = report.best_cell(strategy).expect("grid is non-empty");
+        table.add_row(vec![
+            label.to_string(),
+            format!("{:.1} %", report.mean_savings(strategy) * 100.0),
+            format!("{:.1} %", best.savings(strategy) * 100.0),
+            best.cell().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if opts.pv {
+        let (mut sized, mut unsolvable) = (0usize, 0usize);
+        for r in report.results() {
+            match r.pv() {
+                PvOutcome::Sized { .. } => sized += 1,
+                PvOutcome::Unsolvable => unsolvable += 1,
+                PvOutcome::Skipped => {}
+            }
+        }
+        println!("PV sizing: {sized} cells sized, {unsolvable} unsolvable");
+    }
+
+    if let Some(path) = &opts.csv {
+        if let Err(error) = report.write_csv(path) {
+            eprintln!("sweep: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote CSV to {path}");
+    }
+    if let Some(path) = &opts.json {
+        if let Err(error) = report.write_json(path) {
+            eprintln!("sweep: cannot write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote JSON to {path}");
+    }
+    ExitCode::SUCCESS
+}

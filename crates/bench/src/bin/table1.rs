@@ -1,38 +1,9 @@
 //! Regenerates the paper's Table I: low-power repeater node power
 //! consumption by component.
-
-use corridor_core::experiments;
-use corridor_core::report::TextTable;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let bill = experiments::table1();
-    println!("Table I — low-power repeater node power consumption\n");
-    let mut table = TextTable::new(vec![
-        "component".into(),
-        "role".into(),
-        "active [W]".into(),
-        "sleep [W]".into(),
-    ]);
-    for c in bill.components() {
-        table.add_row(vec![
-            c.name.to_string(),
-            c.role.to_string(),
-            format!("{:.3}", c.active.value()),
-            format!("{:.2}", c.sleep.value()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("paths: {} DL, {} UL", bill.dl_paths(), bill.ul_paths());
-    println!(
-        "sleep total (computed):      {:.2} W (paper: 4.72 W)",
-        bill.sleep_total().value()
-    );
-    println!(
-        "active total (published):    {:.2} W",
-        bill.paper_full_load_total().value()
-    );
-    println!(
-        "active total (naive sum):    {:.2} W (see DESIGN.md §2.4 on the discrepancy)",
-        bill.naive_active_total().value()
-    );
+    print!("{}", corridor_bench::render::table1());
 }

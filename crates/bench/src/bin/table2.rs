@@ -1,29 +1,9 @@
 //! Regenerates the paper's Table II: EARTH power-model parameters for the
 //! RRH and the repeater node.
-
-use corridor_core::experiments;
-use corridor_core::report::TextTable;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    println!("Table II — power model parameters\n");
-    let mut table = TextTable::new(vec![
-        "node type".into(),
-        "Pmax [W]".into(),
-        "P0 [W]".into(),
-        "dP".into(),
-        "Psleep [W]".into(),
-        "full load [W]".into(),
-    ]);
-    for row in experiments::table2() {
-        table.add_row(vec![
-            row.node_type.to_string(),
-            format!("{:.0}", row.model.p_max().value()),
-            format!("{:.2}", row.model.p0().value()),
-            format!("{:.1}", row.model.delta_p()),
-            format!("{:.2}", row.model.p_sleep().value()),
-            format!("{:.2}", row.model.full_load_power().value()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("a mast carries two RRHs: 560 W full load, 336 W idle, 224 W sleep");
+    print!("{}", corridor_bench::render::table2());
 }

@@ -1,70 +1,9 @@
 //! Regenerates the paper's Table III: parameters for the average energy
 //! consumption calculations.
-
-use corridor_bench::scenario;
-use corridor_core::report::TextTable;
-use corridor_core::traffic::TrackSection;
-use corridor_core::units::Meters;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    let params = scenario();
-    let train = params.train();
-    println!("Table III — parameters for average energy calculations\n");
-    let mut table = TextTable::new(vec!["parameter".into(), "value".into()]);
-    let rows: Vec<(&str, String)> = vec![
-        (
-            "Number of trains/h",
-            format!("{}", params.timetable().trains_per_hour()),
-        ),
-        (
-            "Hours per night without traffic",
-            format!("{} h", 24.0 - params.timetable().service_window().value()),
-        ),
-        ("Length of a train", format!("{}", train.length())),
-        (
-            "Velocity of a train",
-            format!("{}", train.speed().kilometers_per_hour()),
-        ),
-        (
-            "LP repeater node spacing",
-            format!("{}", params.lp_spacing()),
-        ),
-        (
-            "Power for HP RRH mast under full load",
-            format!("{}", params.hp_mast().full_load_power()),
-        ),
-        (
-            "Power for HP RRH mast in sleep mode",
-            format!("{}", params.hp_mast().p_sleep()),
-        ),
-        (
-            "Power for LP node under full load",
-            format!("{}", params.lp_node().full_load_power()),
-        ),
-        (
-            "Power for LP node no load",
-            format!("{}", params.lp_node().p0()),
-        ),
-        (
-            "Power for LP node in sleep mode",
-            format!("{}", params.lp_node().p_sleep()),
-        ),
-    ];
-    for (k, v) in rows {
-        table.add_row(vec![k.to_string(), v]);
-    }
-    println!("{}", table.render());
-
-    // the derived "operation under full load per train" range of the paper
-    let t_500 = TrackSection::new(Meters::ZERO, Meters::new(500.0)).occupancy(
-        &corridor_core::traffic::TrainPass::new(train, corridor_core::units::Seconds::ZERO),
-    );
-    let t_2650 = TrackSection::new(Meters::ZERO, Meters::new(2650.0)).occupancy(
-        &corridor_core::traffic::TrainPass::new(train, corridor_core::units::Seconds::ZERO),
-    );
-    println!(
-        "derived full-load time per train: {:.1} s (ISD 500 m) to {:.1} s (ISD 2650 m); paper: 16 s - 55 s",
-        (t_500.1 - t_500.0).value(),
-        (t_2650.1 - t_2650.0).value()
-    );
+    print!("{}", corridor_bench::render::table3());
 }

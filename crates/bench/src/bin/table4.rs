@@ -1,37 +1,9 @@
 //! Regenerates the paper's Table IV: PVGIS-style sizing results for the
 //! four exemplary regions over one year.
-
-use corridor_core::experiments;
-use corridor_core::report::TextTable;
+//!
+//! The rendering lives in [`corridor_bench::render`] so the golden-file
+//! test can assert it against `docs/results/`.
 
 fn main() {
-    println!("Table IV — off-grid PV sizing at the four example regions\n");
-    let mut table = TextTable::new(vec![
-        "parameter".into(),
-        "Madrid".into(),
-        "Lyon".into(),
-        "Vienna".into(),
-        "Berlin".into(),
-    ]);
-    let rows = experiments::table4();
-    table.add_row(
-        std::iter::once("Required peak PV power [Wp]".to_string())
-            .chain(rows.iter().map(|r| format!("{:.0}", r.pv_peak.value())))
-            .collect(),
-    );
-    table.add_row(
-        std::iter::once("Required battery capacity [Wh]".to_string())
-            .chain(rows.iter().map(|r| format!("{:.0}", r.battery.value())))
-            .collect(),
-    );
-    table.add_row(
-        std::iter::once("Days with full battery [%]".to_string())
-            .chain(rows.iter().map(|r| format!("{:.2}", r.days_full_pct)))
-            .collect(),
-    );
-    println!("{}", table.render());
-    println!(
-        "paper:  540/540/540/600 Wp, 720/720/1440/1440 Wh, 98.13/95.15/93.73/88.0 % days full"
-    );
-    println!("(percentages depend on the satellite weather database; see EXPERIMENTS.md)");
+    print!("{}", corridor_bench::render::table4());
 }

@@ -1,12 +1,17 @@
 //! Shared helpers for the reproduction binaries and benches.
 //!
 //! The binaries (`fig3`, `fig4`, `isd_sweep`, `table1`–`table4`,
-//! `headline`) regenerate, as text, every table and figure of the paper;
-//! the criterion benches measure the hot paths and run the ablations
-//! called out in DESIGN.md.
+//! `headline`, `sweep`) regenerate, as text, every table and figure of
+//! the paper plus the batch scenario sweeps; the criterion benches
+//! measure the hot paths and run the ablations called out in DESIGN.md.
+//! The [`render`] module holds the exact text each reproduction binary
+//! prints, so the golden-file regression test can assert it against the
+//! committed outputs under `docs/results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod render;
 
 use corridor_core::ScenarioParams;
 

@@ -1,0 +1,408 @@
+//! Text rendering of every reproduction artefact.
+//!
+//! Each function returns *exactly* the bytes its binary prints — the
+//! binaries are thin `print!` wrappers, and `tests/golden_outputs.rs` (in
+//! the umbrella crate) asserts these strings against the committed
+//! reference files under `docs/results/`, so paper fidelity is enforced
+//! by `cargo test` instead of by hand.
+
+use core::fmt::Write as _;
+
+use corridor_core::report::TextTable;
+use corridor_core::units::Meters;
+use corridor_core::{experiments, ScenarioParams};
+
+use crate::{scenario, wh};
+
+/// Renders the Section V headline-number comparison (`headline` binary).
+pub fn headline() -> String {
+    let h = experiments::headline_numbers(&scenario());
+    let mut out = String::from("headline numbers (Section V text)\n\n");
+    let mut table = TextTable::new(vec!["quantity".into(), "paper".into(), "this model".into()]);
+    let rows: Vec<(&str, &str, String)> = vec![
+        (
+            "HP full-load share, ISD 500 m",
+            "2.85 %",
+            format!("{:.2} %", h.hp_duty_500m * 100.0),
+        ),
+        (
+            "HP full-load share, ISD 2650 m",
+            "9.66 %",
+            format!("{:.2} %", h.hp_duty_2650m * 100.0),
+        ),
+        (
+            "repeater average power (sleep mode)",
+            "5.17 W",
+            format!("{:.2} W", h.repeater_average_power.value()),
+        ),
+        (
+            "repeater daily energy",
+            "124.1 Wh",
+            format!("{:.1} Wh", h.repeater_daily_energy.value()),
+        ),
+        (
+            "savings, 1 node, sleep mode",
+            "57 %",
+            format!("{:.1} %", h.savings_sleep_1 * 100.0),
+        ),
+        (
+            "savings, 10 nodes, sleep mode",
+            "74 %",
+            format!("{:.1} %", h.savings_sleep_10 * 100.0),
+        ),
+        (
+            "savings, 1 node, solar",
+            "59 %",
+            format!("{:.1} %", h.savings_solar_1 * 100.0),
+        ),
+        (
+            "savings, 10 nodes, solar",
+            "79 %",
+            format!("{:.1} %", h.savings_solar_10 * 100.0),
+        ),
+    ];
+    for (q, p, m) in rows {
+        table.add_row(vec![q.to_string(), p.to_string(), m]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    out
+}
+
+/// Renders the Table I component bill (`table1` binary).
+pub fn table1() -> String {
+    let bill = experiments::table1();
+    let mut out = String::from("Table I — low-power repeater node power consumption\n\n");
+    let mut table = TextTable::new(vec![
+        "component".into(),
+        "role".into(),
+        "active [W]".into(),
+        "sleep [W]".into(),
+    ]);
+    for c in bill.components() {
+        table.add_row(vec![
+            c.name.to_string(),
+            c.role.to_string(),
+            format!("{:.3}", c.active.value()),
+            format!("{:.2}", c.sleep.value()),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(out, "paths: {} DL, {} UL", bill.dl_paths(), bill.ul_paths());
+    let _ = writeln!(
+        out,
+        "sleep total (computed):      {:.2} W (paper: 4.72 W)",
+        bill.sleep_total().value()
+    );
+    let _ = writeln!(
+        out,
+        "active total (published):    {:.2} W",
+        bill.paper_full_load_total().value()
+    );
+    let _ = writeln!(
+        out,
+        "active total (naive sum):    {:.2} W (see DESIGN.md §2.4 on the discrepancy)",
+        bill.naive_active_total().value()
+    );
+    out
+}
+
+/// Renders the Table II power-model parameters (`table2` binary).
+pub fn table2() -> String {
+    let mut out = String::from("Table II — power model parameters\n\n");
+    let mut table = TextTable::new(vec![
+        "node type".into(),
+        "Pmax [W]".into(),
+        "P0 [W]".into(),
+        "dP".into(),
+        "Psleep [W]".into(),
+        "full load [W]".into(),
+    ]);
+    for row in experiments::table2() {
+        table.add_row(vec![
+            row.node_type.to_string(),
+            format!("{:.0}", row.model.p_max().value()),
+            format!("{:.2}", row.model.p0().value()),
+            format!("{:.1}", row.model.delta_p()),
+            format!("{:.2}", row.model.p_sleep().value()),
+            format!("{:.2}", row.model.full_load_power().value()),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "a mast carries two RRHs: 560 W full load, 336 W idle, 224 W sleep"
+    );
+    out
+}
+
+/// Renders the Table III scenario parameters (`table3` binary).
+pub fn table3() -> String {
+    let params = scenario();
+    let train = params.train();
+    let mut out = String::from("Table III — parameters for average energy calculations\n\n");
+    let mut table = TextTable::new(vec!["parameter".into(), "value".into()]);
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "Number of trains/h",
+            format!("{}", params.timetable().trains_per_hour()),
+        ),
+        (
+            "Hours per night without traffic",
+            format!("{} h", 24.0 - params.timetable().service_window().value()),
+        ),
+        ("Length of a train", format!("{}", train.length())),
+        (
+            "Velocity of a train",
+            format!("{}", train.speed().kilometers_per_hour()),
+        ),
+        (
+            "LP repeater node spacing",
+            format!("{}", params.lp_spacing()),
+        ),
+        (
+            "Power for HP RRH mast under full load",
+            format!("{}", params.hp_mast().full_load_power()),
+        ),
+        (
+            "Power for HP RRH mast in sleep mode",
+            format!("{}", params.hp_mast().p_sleep()),
+        ),
+        (
+            "Power for LP node under full load",
+            format!("{}", params.lp_node().full_load_power()),
+        ),
+        (
+            "Power for LP node no load",
+            format!("{}", params.lp_node().p0()),
+        ),
+        (
+            "Power for LP node in sleep mode",
+            format!("{}", params.lp_node().p_sleep()),
+        ),
+    ];
+    for (k, v) in rows {
+        table.add_row(vec![k.to_string(), v]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    // the derived "operation under full load per train" range of the paper
+    let t_500 =
+        corridor_core::traffic::TrackSection::new(Meters::ZERO, Meters::new(500.0)).occupancy(
+            &corridor_core::traffic::TrainPass::new(train, corridor_core::units::Seconds::ZERO),
+        );
+    let t_2650 =
+        corridor_core::traffic::TrackSection::new(Meters::ZERO, Meters::new(2650.0)).occupancy(
+            &corridor_core::traffic::TrainPass::new(train, corridor_core::units::Seconds::ZERO),
+        );
+    let _ = writeln!(
+        out,
+        "derived full-load time per train: {:.1} s (ISD 500 m) to {:.1} s (ISD 2650 m); paper: 16 s - 55 s",
+        (t_500.1 - t_500.0).value(),
+        (t_2650.1 - t_2650.0).value()
+    );
+    out
+}
+
+/// Renders the Table IV sizing results (`table4` binary).
+pub fn table4() -> String {
+    let mut out = String::from("Table IV — off-grid PV sizing at the four example regions\n\n");
+    let mut table = TextTable::new(vec![
+        "parameter".into(),
+        "Madrid".into(),
+        "Lyon".into(),
+        "Vienna".into(),
+        "Berlin".into(),
+    ]);
+    let rows = experiments::table4();
+    table.add_row(
+        std::iter::once("Required peak PV power [Wp]".to_string())
+            .chain(rows.iter().map(|r| format!("{:.0}", r.pv_peak.value())))
+            .collect(),
+    );
+    table.add_row(
+        std::iter::once("Required battery capacity [Wh]".to_string())
+            .chain(rows.iter().map(|r| format!("{:.0}", r.battery.value())))
+            .collect(),
+    );
+    table.add_row(
+        std::iter::once("Days with full battery [%]".to_string())
+            .chain(rows.iter().map(|r| format!("{:.2}", r.days_full_pct)))
+            .collect(),
+    );
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "paper:  540/540/540/600 Wp, 720/720/1440/1440 Wh, 98.13/95.15/93.73/88.0 % days full"
+    );
+    let _ = writeln!(
+        out,
+        "(percentages depend on the satellite weather database; see EXPERIMENTS.md)"
+    );
+    out
+}
+
+/// Renders the Fig. 3 signal/noise profile (`fig3` binary).
+pub fn fig3() -> String {
+    let params: ScenarioParams = scenario();
+    let samples = experiments::fig3(&params);
+
+    let mut out = String::from("Fig. 3 — signal and noise power, d_ISD = 2400 m, N = 8\n\n");
+    let mut table = TextTable::new(vec![
+        "pos [m]".into(),
+        "HP left [dBm]".into(),
+        "HP right [dBm]".into(),
+        "best LP [dBm]".into(),
+        "total signal [dBm]".into(),
+        "total noise [dBm]".into(),
+    ]);
+    for s in samples.iter().step_by(10) {
+        let best_lp = s
+            .lp_nodes
+            .iter()
+            .map(|p| p.value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        table.add_row(vec![
+            format!("{:.0}", s.position.value()),
+            format!("{:.1}", s.hp_left.value()),
+            format!("{:.1}", s.hp_right.value()),
+            format!("{best_lp:.1}"),
+            format!("{:.1}", s.total_signal.value()),
+            format!("{:.1}", s.total_noise.value()),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    let min_signal = samples
+        .iter()
+        .map(|s| s.total_signal.value())
+        .fold(f64::INFINITY, f64::min);
+    let _ = writeln!(
+        out,
+        "minimum total signal along the track: {min_signal:.1} dBm"
+    );
+    let _ = writeln!(
+        out,
+        "paper claim: the signal power can be kept above -100 dBm -> {}",
+        if min_signal > -100.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+    out
+}
+
+/// Renders one Fig. 4 table for a given ISD mapping.
+fn fig4_table(
+    params: &ScenarioParams,
+    table: &corridor_core::deploy::IsdTable,
+    label: &str,
+) -> String {
+    let rows = experiments::fig4(params, table);
+    let baseline = rows[0].sleep;
+    let mut out = format!("Fig. 4 ({label}) — average energy [Wh] per hour per km\n\n");
+    let mut text = TextTable::new(vec![
+        "nodes".into(),
+        "ISD [m]".into(),
+        "continuous".into(),
+        "sleep".into(),
+        "solar".into(),
+        "saving cont.".into(),
+        "saving sleep".into(),
+        "saving solar".into(),
+    ]);
+    for row in &rows {
+        let savings = row.savings_vs(baseline);
+        text.add_row(vec![
+            row.n.to_string(),
+            format!("{:.0}", row.isd.value()),
+            wh(row.continuous.value()),
+            wh(row.sleep.value()),
+            wh(row.solar.value()),
+            format!("{:.1} %", savings[0] * 100.0),
+            format!("{:.1} %", savings[1] * 100.0),
+            format!("{:.1} %", savings[2] * 100.0),
+        ]);
+    }
+    let _ = writeln!(out, "{}", text.render());
+    out
+}
+
+/// Renders the Fig. 4 strategy comparison (`fig4` binary).
+pub fn fig4() -> String {
+    let params = scenario();
+    let mut out = fig4_table(
+        &params,
+        &corridor_core::deploy::IsdTable::paper(),
+        "paper ISD mapping",
+    );
+    let computed = experiments::isd_sweep(&params, Meters::new(5.0)).computed;
+    out.push_str(&fig4_table(&params, &computed, "computed ISD mapping"));
+    let _ = writeln!(
+        out,
+        "paper claims: 57 %/74 % sleep-mode and 59 %/79 % solar savings at 1/10 nodes."
+    );
+    out
+}
+
+/// Renders the Section V maximum-ISD sweep (`isd_sweep` binary).
+pub fn isd_sweep() -> String {
+    let sweep = experiments::isd_sweep(&scenario(), Meters::new(5.0));
+    let mut out = String::from("maximum ISD per repeater count (50 m grid)\n\n");
+    let mut table = TextTable::new(vec![
+        "nodes".into(),
+        "computed [m]".into(),
+        "paper [m]".into(),
+        "delta".into(),
+    ]);
+    for n in 0..=10usize {
+        let computed = sweep.computed.isd_for(n);
+        let paper = sweep.paper.isd_for(n);
+        table.add_row(vec![
+            n.to_string(),
+            computed.map_or("-".into(), |m| format!("{:.0}", m.value())),
+            paper.map_or("-".into(), |m| format!("{:.0}", m.value())),
+            match (computed, paper) {
+                (Some(c), Some(p)) => format!("{:+.0}", c.value() - p.value()),
+                _ => "-".into(),
+            },
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "paper sequence: 1250 1450 1600 1800 1950 2100 2250 2400 2500 2650"
+    );
+    let _ = writeln!(
+        out,
+        "(n = 0 is the model's own bound; the paper's 500 m reference is the"
+    );
+    let _ = writeln!(out, "real-world deployment value, not a model output)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_renderer_ends_with_a_newline() {
+        for (name, text) in [
+            ("headline", headline()),
+            ("table1", table1()),
+            ("table2", table2()),
+            ("table3", table3()),
+            ("table4", table4()),
+        ] {
+            assert!(text.ends_with('\n'), "{name}");
+            assert!(!text.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn headline_contains_the_reproduced_savings() {
+        let text = headline();
+        assert!(text.contains("74.0 %"));
+        assert!(text.contains("79.3 %"));
+    }
+}

@@ -41,7 +41,7 @@ pub mod report;
 mod scenario;
 mod strategy;
 
-pub use scenario::ScenarioParams;
+pub use scenario::{ScenarioError, ScenarioParams, ScenarioParamsBuilder};
 pub use strategy::EnergyStrategy;
 
 pub use corridor_deploy as deploy;
@@ -57,7 +57,7 @@ pub use corridor_units as units;
 pub mod prelude {
     pub use crate::energy::{self, SegmentEnergy};
     pub use crate::experiments;
-    pub use crate::{EnergyStrategy, ScenarioParams};
+    pub use crate::{EnergyStrategy, ScenarioError, ScenarioParams, ScenarioParamsBuilder};
     pub use corridor_deploy::{
         Corridor, CorridorLayout, CoverageCriterion, IsdOptimizer, IsdTable, LinkBudget,
         PlacementPolicy, SegmentInventory,

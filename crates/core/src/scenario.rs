@@ -1,9 +1,11 @@
 //! Scenario parameters (paper Table III plus equipment and RF budget).
 
+use core::fmt;
+
 use corridor_deploy::{LinkBudget, PlacementPolicy};
 use corridor_power::{catalog, LoadDependentPower};
 use corridor_traffic::{Timetable, Train};
-use corridor_units::Meters;
+use corridor_units::{Hours, KilometersPerHour, Meters, Seconds};
 
 /// Every parameter of the corridor energy study in one place, defaulting
 /// to the paper's Table III values:
@@ -38,6 +40,28 @@ pub struct ScenarioParams {
 }
 
 impl ScenarioParams {
+    /// A validating builder initialized with the paper's defaults.
+    ///
+    /// Unlike the panicking `with_*` setters, the builder collects plain
+    /// numbers and reports invalid combinations as [`ScenarioError`]s —
+    /// the right shape for sweep engines expanding machine-generated
+    /// parameter grids.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use corridor_core::ScenarioParams;
+    /// let params = ScenarioParams::builder()
+    ///     .trains_per_hour(12.0)
+    ///     .lp_spacing_m(150.0)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(params.timetable().trains_per_hour(), 12.0);
+    /// ```
+    pub fn builder() -> ScenarioParamsBuilder {
+        ScenarioParamsBuilder::new()
+    }
+
     /// The paper's scenario (see the type-level table).
     pub fn paper_default() -> Self {
         ScenarioParams {
@@ -152,6 +176,219 @@ impl Default for ScenarioParams {
     }
 }
 
+/// Why a [`ScenarioParamsBuilder`] rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The repeater node spacing is zero or negative.
+    NonPositiveSpacing,
+    /// The conventional reference ISD is zero or negative.
+    NonPositiveIsd,
+    /// The timetable carries no trains (non-positive rate or an empty or
+    /// oversized service window).
+    EmptyTimetable,
+    /// The train speed is zero or negative.
+    NonPositiveTrainSpeed,
+    /// The train length is negative.
+    NegativeTrainLength,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NonPositiveSpacing => {
+                f.write_str("repeater node spacing must be strictly positive")
+            }
+            ScenarioError::NonPositiveIsd => {
+                f.write_str("conventional ISD must be strictly positive")
+            }
+            ScenarioError::EmptyTimetable => f.write_str(
+                "timetable is empty: trains per hour must be positive and the \
+                 service window within (0, 24] hours",
+            ),
+            ScenarioError::NonPositiveTrainSpeed => {
+                f.write_str("train speed must be strictly positive")
+            }
+            ScenarioError::NegativeTrainLength => f.write_str("train length must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A validating builder for [`ScenarioParams`], initialized with the
+/// paper's Table III defaults.
+///
+/// Every numeric setter takes plain units (trains/h, km/h, metres) so
+/// sweep engines can feed machine-generated grids directly; [`build`]
+/// validates the combination and returns a [`ScenarioError`] instead of
+/// panicking.
+///
+/// [`build`]: ScenarioParamsBuilder::build
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::{ScenarioError, ScenarioParams};
+///
+/// let err = ScenarioParams::builder().lp_spacing_m(0.0).build().unwrap_err();
+/// assert_eq!(err, ScenarioError::NonPositiveSpacing);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioParamsBuilder {
+    trains_per_hour: f64,
+    service_window: Hours,
+    service_start: Seconds,
+    train_length: Meters,
+    train_speed_kmh: f64,
+    lp_spacing: Meters,
+    conventional_isd: Meters,
+    hp_mast: LoadDependentPower,
+    lp_node: LoadDependentPower,
+    budget: LinkBudget,
+}
+
+impl ScenarioParamsBuilder {
+    /// A builder holding the paper's defaults.
+    pub fn new() -> Self {
+        let timetable = Timetable::paper_default();
+        let train = timetable.train();
+        ScenarioParamsBuilder {
+            trains_per_hour: timetable.trains_per_hour(),
+            service_window: timetable.service_window(),
+            service_start: timetable.service_start(),
+            train_length: train.length(),
+            train_speed_kmh: train.speed().kilometers_per_hour().value(),
+            lp_spacing: Meters::new(200.0),
+            conventional_isd: Meters::new(500.0),
+            hp_mast: catalog::high_power_mast(),
+            lp_node: catalog::low_power_repeater_measured(),
+            budget: LinkBudget::paper_default(),
+        }
+    }
+
+    /// Sets the timetable density (trains per service hour).
+    #[must_use]
+    pub fn trains_per_hour(mut self, trains_per_hour: f64) -> Self {
+        self.trains_per_hour = trains_per_hour;
+        self
+    }
+
+    /// Sets the daily service window length in hours.
+    #[must_use]
+    pub fn service_window_h(mut self, hours: f64) -> Self {
+        self.service_window = Hours::new(hours);
+        self
+    }
+
+    /// Sets the train length in metres.
+    #[must_use]
+    pub fn train_length_m(mut self, metres: f64) -> Self {
+        self.train_length = Meters::new(metres);
+        self
+    }
+
+    /// Sets the train speed in km/h.
+    #[must_use]
+    pub fn train_speed_kmh(mut self, kmh: f64) -> Self {
+        self.train_speed_kmh = kmh;
+        self
+    }
+
+    /// Sets the low-power repeater node spacing in metres.
+    #[must_use]
+    pub fn lp_spacing_m(mut self, metres: f64) -> Self {
+        self.lp_spacing = Meters::new(metres);
+        self
+    }
+
+    /// Sets the conventional reference ISD in metres.
+    #[must_use]
+    pub fn conventional_isd_m(mut self, metres: f64) -> Self {
+        self.conventional_isd = Meters::new(metres);
+        self
+    }
+
+    /// Sets the high-power mast power model.
+    #[must_use]
+    pub fn hp_mast(mut self, model: LoadDependentPower) -> Self {
+        self.hp_mast = model;
+        self
+    }
+
+    /// Sets the low-power repeater power model.
+    #[must_use]
+    pub fn lp_node(mut self, model: LoadDependentPower) -> Self {
+        self.lp_node = model;
+        self
+    }
+
+    /// Sets the RF link budget.
+    #[must_use]
+    pub fn budget(mut self, budget: LinkBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Validates the inputs and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first applicable [`ScenarioError`]:
+    /// [`NonPositiveSpacing`](ScenarioError::NonPositiveSpacing),
+    /// [`NonPositiveIsd`](ScenarioError::NonPositiveIsd),
+    /// [`EmptyTimetable`](ScenarioError::EmptyTimetable),
+    /// [`NonPositiveTrainSpeed`](ScenarioError::NonPositiveTrainSpeed) or
+    /// [`NegativeTrainLength`](ScenarioError::NegativeTrainLength).
+    pub fn build(self) -> Result<ScenarioParams, ScenarioError> {
+        let positive = |x: f64| x > 0.0; // false for NaN as well
+        if !positive(self.lp_spacing.value()) {
+            return Err(ScenarioError::NonPositiveSpacing);
+        }
+        if !positive(self.conventional_isd.value()) {
+            return Err(ScenarioError::NonPositiveIsd);
+        }
+        let window = self.service_window.value();
+        if !positive(self.trains_per_hour) || !positive(window) || window > 24.0 {
+            return Err(ScenarioError::EmptyTimetable);
+        }
+        if (self.trains_per_hour * window).round() < 1.0 {
+            return Err(ScenarioError::EmptyTimetable);
+        }
+        if !positive(self.train_speed_kmh) {
+            return Err(ScenarioError::NonPositiveTrainSpeed);
+        }
+        if self.train_length.value() < 0.0 || self.train_length.value().is_nan() {
+            return Err(ScenarioError::NegativeTrainLength);
+        }
+        let train = Train::new(
+            self.train_length,
+            KilometersPerHour::new(self.train_speed_kmh).meters_per_second(),
+        );
+        let timetable = Timetable::new(
+            self.trains_per_hour,
+            self.service_window,
+            self.service_start,
+            train,
+        );
+        Ok(ScenarioParams {
+            timetable,
+            lp_spacing: self.lp_spacing,
+            conventional_isd: self.conventional_isd,
+            hp_mast: self.hp_mast,
+            lp_node: self.lp_node,
+            budget: self.budget,
+            placement: PlacementPolicy::FixedSpacing(self.lp_spacing),
+        })
+    }
+}
+
+impl Default for ScenarioParamsBuilder {
+    /// Returns [`ScenarioParamsBuilder::new`].
+    fn default() -> Self {
+        ScenarioParamsBuilder::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +422,114 @@ mod tests {
     fn train_accessor() {
         let p = ScenarioParams::paper_default();
         assert_eq!(p.train().length(), Meters::new(400.0));
+    }
+
+    #[test]
+    fn builder_defaults_reproduce_paper_default() {
+        let built = ScenarioParams::builder().build().unwrap();
+        assert_eq!(built, ScenarioParams::paper_default());
+        assert_eq!(ScenarioParamsBuilder::default(), ScenarioParams::builder());
+    }
+
+    #[test]
+    fn builder_sets_every_axis() {
+        let p = ScenarioParams::builder()
+            .trains_per_hour(4.0)
+            .service_window_h(16.0)
+            .train_length_m(250.0)
+            .train_speed_kmh(160.0)
+            .lp_spacing_m(150.0)
+            .conventional_isd_m(600.0)
+            .hp_mast(catalog::high_power_rrh())
+            .lp_node(catalog::low_power_repeater())
+            .budget(LinkBudget::paper_default())
+            .build()
+            .unwrap();
+        assert_eq!(p.timetable().trains_per_hour(), 4.0);
+        assert_eq!(p.timetable().service_window(), Hours::new(16.0));
+        assert_eq!(p.train().length(), Meters::new(250.0));
+        assert!((p.train().speed().kilometers_per_hour().value() - 160.0).abs() < 1e-9);
+        assert_eq!(p.lp_spacing(), Meters::new(150.0));
+        assert_eq!(p.conventional_isd(), Meters::new(600.0));
+        assert_eq!(p.hp_mast(), &catalog::high_power_rrh());
+        assert_eq!(p.lp_node(), &catalog::low_power_repeater());
+        assert_eq!(
+            p.placement(),
+            &PlacementPolicy::FixedSpacing(Meters::new(150.0))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_spacing() {
+        let err = ScenarioParams::builder()
+            .lp_spacing_m(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NonPositiveSpacing);
+        let err = ScenarioParams::builder()
+            .lp_spacing_m(-5.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NonPositiveSpacing);
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_isd() {
+        let err = ScenarioParams::builder()
+            .conventional_isd_m(-500.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NonPositiveIsd);
+    }
+
+    #[test]
+    fn builder_rejects_empty_timetable() {
+        for builder in [
+            ScenarioParams::builder().trains_per_hour(0.0),
+            ScenarioParams::builder().trains_per_hour(-8.0),
+            ScenarioParams::builder().service_window_h(0.0),
+            ScenarioParams::builder().service_window_h(25.0),
+            // rounds to zero trains per day
+            ScenarioParams::builder()
+                .trains_per_hour(0.02)
+                .service_window_h(1.0),
+        ] {
+            assert_eq!(builder.build().unwrap_err(), ScenarioError::EmptyTimetable);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_train_speed() {
+        let err = ScenarioParams::builder()
+            .train_speed_kmh(0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NonPositiveTrainSpeed);
+    }
+
+    #[test]
+    fn builder_rejects_negative_train_length() {
+        let err = ScenarioParams::builder()
+            .train_length_m(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::NegativeTrainLength);
+    }
+
+    #[test]
+    fn scenario_error_displays() {
+        assert!(ScenarioError::NonPositiveSpacing
+            .to_string()
+            .contains("spacing"));
+        assert!(ScenarioError::NonPositiveIsd.to_string().contains("ISD"));
+        assert!(ScenarioError::EmptyTimetable
+            .to_string()
+            .contains("timetable"));
+        assert!(ScenarioError::NonPositiveTrainSpeed
+            .to_string()
+            .contains("speed"));
+        assert!(ScenarioError::NegativeTrainLength
+            .to_string()
+            .contains("length"));
     }
 }

@@ -1,0 +1,240 @@
+//! Serial and parallel sweep execution.
+
+use corridor_core::{energy, EnergyStrategy, ScenarioError};
+use corridor_solar::{sizing, DailyLoadProfile};
+use corridor_traffic::{ActivityTimeline, TrackSection};
+use corridor_units::Watts;
+use rayon::prelude::*;
+
+use crate::{CellResult, PvOutcome, ScenarioCell, ScenarioGrid, SweepReport};
+
+/// Executes a [`ScenarioGrid`], cell by cell, serially or on a worker
+/// pool.
+///
+/// Each cell is evaluated independently (energy split for the three
+/// strategies, savings versus the cell's conventional baseline, and —
+/// unless disabled — the off-grid PV sizing for the cell's climate), so
+/// the parallel path produces results identical to the serial one, in the
+/// same deterministic grid order.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::EnergyStrategy;
+/// use corridor_sim::{ScenarioGrid, SweepEngine};
+///
+/// let engine = SweepEngine::new().workers(2).pv_sizing(false);
+/// let report = engine.run(&ScenarioGrid::new()).unwrap();
+/// // the paper's 74 % sleep-mode saving, via the sweep path
+/// let saving = report.results()[0].savings(EnergyStrategy::SleepModeRepeaters);
+/// assert!((saving - 0.74).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepEngine {
+    workers: usize,
+    pv_sizing: bool,
+}
+
+impl SweepEngine {
+    /// An engine with automatic worker count and PV sizing enabled.
+    pub fn new() -> Self {
+        SweepEngine {
+            workers: 0,
+            pv_sizing: true,
+        }
+    }
+
+    /// Sets the worker count; `0` means automatic (machine parallelism).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables the per-cell PV sizing (the expensive step:
+    /// three seeded weather years per candidate configuration).
+    #[must_use]
+    pub fn pv_sizing(mut self, enabled: bool) -> Self {
+        self.pv_sizing = enabled;
+        self
+    }
+
+    /// Expands the grid and evaluates every cell on the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the grid expansion rejects a cell's
+    /// parameters.
+    pub fn run(&self, grid: &ScenarioGrid) -> Result<SweepReport, ScenarioError> {
+        let cells = grid.expand()?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.workers)
+            .build()
+            .expect("shim pool build is infallible");
+        let results: Vec<CellResult> =
+            pool.install(|| cells.par_iter().map(|cell| self.evaluate(cell)).collect());
+        Ok(SweepReport::new(results))
+    }
+
+    /// Expands the grid and evaluates every cell on the calling thread —
+    /// the reference path the parallel results are checked against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the grid expansion rejects a cell's
+    /// parameters.
+    pub fn run_serial(&self, grid: &ScenarioGrid) -> Result<SweepReport, ScenarioError> {
+        let cells = grid.expand()?;
+        Ok(SweepReport::new(
+            cells.iter().map(|cell| self.evaluate(cell)).collect(),
+        ))
+    }
+
+    /// Evaluates one cell.
+    pub fn evaluate(&self, cell: &ScenarioCell) -> CellResult {
+        let params = cell.params();
+        let baseline = energy::conventional_baseline(params);
+        let at =
+            |strategy| energy::average_power_per_km(params, cell.nodes(), cell.isd(), strategy);
+        let pv = if self.pv_sizing {
+            self.size_pv(cell)
+        } else {
+            PvOutcome::Skipped
+        };
+        CellResult::new(
+            cell.clone(),
+            baseline,
+            at(EnergyStrategy::ContinuousRepeaters),
+            at(EnergyStrategy::SleepModeRepeaters),
+            at(EnergyStrategy::SolarPoweredRepeaters),
+            pv,
+        )
+    }
+
+    /// Sizes the off-grid PV system of one service repeater in this cell:
+    /// the node sleeps through the night pause and serves train bursts
+    /// during the service window (the paper's Table IV methodology,
+    /// generalized to the cell's timetable and equipment).
+    fn size_pv(&self, cell: &ScenarioCell) -> PvOutcome {
+        let params = cell.params();
+        let lp = params.lp_node();
+        let section = TrackSection::around(cell.isd() / 2.0, params.lp_spacing());
+        let active_h = ActivityTimeline::for_section(&section, &params.timetable().passes())
+            .total_active_hours()
+            .value();
+        let night_h = (24.0 - params.timetable().service_window().value())
+            .round()
+            .clamp(0.0, 23.0);
+        let day_window_h = 24.0 - night_h;
+        let day_avg_w = (lp.full_load_power().value() * active_h
+            + lp.p_sleep().value() * (day_window_h - active_h).max(0.0))
+            / day_window_h;
+        let load = DailyLoadProfile::repeater_profile(
+            lp.p_sleep(),
+            Watts::new(day_avg_w),
+            night_h as usize,
+        );
+        match sizing::size_for_zero_downtime(
+            cell.location().clone(),
+            load,
+            &sizing::SizingOptions::paper_default(),
+        ) {
+            Some(fit) => PvOutcome::Sized {
+                pv_wp: fit.pv.peak().value(),
+                battery_wh: fit.battery_capacity.value(),
+                days_full_pct: fit.mean_full_battery_fraction() * 100.0,
+            },
+            None => PvOutcome::Unsolvable,
+        }
+    }
+}
+
+impl Default for SweepEngine {
+    /// Returns [`SweepEngine::new`].
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corridor_core::{experiments, ScenarioParams};
+    use corridor_solar::climate;
+
+    #[test]
+    fn paper_cell_reproduces_headline_savings() {
+        let report = SweepEngine::new()
+            .workers(1)
+            .pv_sizing(false)
+            .run(&ScenarioGrid::new())
+            .unwrap();
+        let h = experiments::headline_numbers(&ScenarioParams::paper_default());
+        let r = &report.results()[0];
+        assert!((r.savings(EnergyStrategy::SleepModeRepeaters) - h.savings_sleep_10).abs() < 1e-12);
+        assert!(
+            (r.savings(EnergyStrategy::SolarPoweredRepeaters) - h.savings_solar_10).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn paper_cell_pv_sizing_matches_table4_berlin() {
+        // default grid = Berlin climate; Table IV: 600 Wp / 1440 Wh
+        let report = SweepEngine::new()
+            .workers(1)
+            .run(&ScenarioGrid::new())
+            .unwrap();
+        match report.results()[0].pv() {
+            PvOutcome::Sized {
+                pv_wp,
+                battery_wh,
+                days_full_pct,
+            } => {
+                assert_eq!(pv_wp, 600.0);
+                assert_eq!(battery_wh, 1440.0);
+                assert!(days_full_pct > 85.0);
+            }
+            other => panic!("expected sized outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heavy_load_profile_is_unsolvable() {
+        // a flat 650 W onboard-relay "repeater" cannot be solar-sized
+        let grid = ScenarioGrid::new().power_profiles(vec![crate::PowerProfile::custom(
+            "flat-650w",
+            corridor_power::catalog::high_power_mast(),
+            corridor_power::catalog::onboard_relay(),
+        )]);
+        let report = SweepEngine::new().workers(1).run(&grid).unwrap();
+        assert_eq!(report.results()[0].pv(), PvOutcome::Unsolvable);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_a_mixed_grid() {
+        let grid = ScenarioGrid::new()
+            .trains_per_hour(vec![4.0, 8.0])
+            .train_speeds_kmh(vec![160.0, 200.0])
+            .locations(vec![climate::madrid(), climate::berlin()]);
+        let engine = SweepEngine::new().pv_sizing(false);
+        let serial = engine.run_serial(&grid).unwrap();
+        let parallel = engine.workers(4).run(&grid).unwrap();
+        assert_eq!(serial.results(), parallel.results());
+    }
+
+    #[test]
+    fn strategy_ordering_holds_across_the_screening_grid() {
+        let report = SweepEngine::new()
+            .pv_sizing(false)
+            .run(&ScenarioGrid::screening_200())
+            .unwrap();
+        assert_eq!(report.len(), 200);
+        for r in report.results() {
+            let c = r.split(EnergyStrategy::ContinuousRepeaters).total();
+            let s = r.split(EnergyStrategy::SleepModeRepeaters).total();
+            let z = r.split(EnergyStrategy::SolarPoweredRepeaters).total();
+            assert!(c > s, "{}", r.cell());
+            assert!(s > z, "{}", r.cell());
+        }
+    }
+}

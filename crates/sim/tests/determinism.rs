@@ -1,0 +1,60 @@
+//! Determinism of the `rayon` shim execution path: the same grid must
+//! produce byte-identical reports on 1, 2 and 8 workers.
+
+use corridor_sim::{ScenarioGrid, SweepEngine};
+use corridor_solar::climate;
+
+/// A small grid that exercises every axis (8 cells, PV sizing included —
+/// the only seeded-randomness consumer in the pipeline).
+fn mixed_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .trains_per_hour(vec![4.0, 8.0])
+        .train_speeds_kmh(vec![160.0, 200.0])
+        .locations(vec![climate::madrid(), climate::berlin()])
+}
+
+#[test]
+fn csv_is_byte_identical_across_worker_counts() {
+    let grid = mixed_grid();
+    let reference = SweepEngine::new().workers(1).run(&grid).unwrap().to_csv();
+    assert!(reference.lines().count() == 9, "8 cells + header");
+    for workers in [2, 8] {
+        let csv = SweepEngine::new()
+            .workers(workers)
+            .run(&grid)
+            .unwrap()
+            .to_csv();
+        assert_eq!(csv, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn json_is_byte_identical_across_worker_counts() {
+    let grid = mixed_grid();
+    let reference = SweepEngine::new().workers(1).run(&grid).unwrap().to_json();
+    for workers in [2, 8] {
+        let json = SweepEngine::new()
+            .workers(workers)
+            .run(&grid)
+            .unwrap()
+            .to_json();
+        assert_eq!(json, reference, "workers = {workers}");
+    }
+}
+
+#[test]
+fn wide_grid_without_pv_is_deterministic_too() {
+    // 36 quick cells stressing the scheduler with more items than workers
+    let grid = ScenarioGrid::new()
+        .trains_per_hour(vec![2.0, 6.0, 10.0])
+        .train_speeds_kmh(vec![120.0, 200.0, 280.0])
+        .lp_spacings_m(vec![150.0, 250.0])
+        .conventional_isds_m(vec![450.0, 550.0]);
+    let engine = SweepEngine::new().pv_sizing(false);
+    let reference = engine.workers(1).run(&grid).unwrap();
+    for workers in [2, 8] {
+        let report = engine.workers(workers).run(&grid).unwrap();
+        assert_eq!(report.results(), reference.results(), "workers = {workers}");
+        assert_eq!(report.to_csv(), reference.to_csv(), "workers = {workers}");
+    }
+}
