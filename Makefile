@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden doc quickstart bench-build bench-sweep results
+.PHONY: ci fmt-check clippy build test golden differential doc quickstart bench-build bench-sweep results
 
-ci: fmt-check clippy build test golden doc quickstart bench-build bench-sweep
+ci: fmt-check clippy build test golden differential doc quickstart bench-build bench-sweep
 
 fmt-check:
 	cargo fmt --all --check
@@ -21,6 +21,10 @@ test:
 # Byte-exact regression against the committed reproduction outputs.
 golden:
 	cargo test -q --test golden_outputs
+
+# Analytic ↔ event-driven differential harness (< 0.1 % on paper scenarios).
+differential:
+	cargo test -q --test differential
 
 doc:
 	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace
@@ -40,3 +44,4 @@ results:
 	for b in headline table1 table2 table3 table4 fig3 fig4 isd_sweep; do \
 		cargo run -q --release -p corridor_bench --bin $$b > docs/results/$$b.txt || exit 1; \
 	done
+	cargo run -q --release -p corridor_bench --bin simulate -- --stats > docs/results/poisson_stats.txt

@@ -1,0 +1,81 @@
+//! Throughput of the discrete-event corridor simulator.
+//!
+//! Besides the criterion timings, the bench prints a one-shot events/s
+//! figure for the paper's 10-node segment (13 state machines, 152
+//! passes, ~6k events per simulated day) so the log records the
+//! simulator's raw event throughput on this machine.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use corridor_bench::scenario;
+use corridor_core::traffic::{PoissonTimetable, Timetable, TrainPass};
+use corridor_core::units::Meters;
+use corridor_events::{segment_nodes, CorridorSimulator, NodeSpec, WakePolicy};
+use rand::SeedableRng;
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn paper_nodes() -> Vec<NodeSpec> {
+    segment_nodes(10, Meters::new(2650.0), scenario().lp_spacing())
+}
+
+fn paper_day() -> Vec<TrainPass> {
+    Timetable::paper_default().passes()
+}
+
+fn bench_simulate_day(c: &mut Criterion) {
+    let nodes = paper_nodes();
+    let deterministic = paper_day();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let poisson = PoissonTimetable::paper_rate().sample_passes(&mut rng);
+
+    let mut group = c.benchmark_group("events_day");
+    for (name, passes) in [("deterministic", &deterministic), ("poisson", &poisson)] {
+        group.bench_with_input(BenchmarkId::new("instant", name), passes, |b, passes| {
+            let sim = CorridorSimulator::new();
+            b.iter(|| sim.simulate(black_box(&nodes), black_box(passes)))
+        });
+    }
+    group.bench_function("paper_policy", |b| {
+        let sim = CorridorSimulator::new().with_policy(WakePolicy::paper_default());
+        b.iter(|| sim.simulate(black_box(&nodes), black_box(&deterministic)))
+    });
+    group.finish();
+}
+
+/// One-shot events/s figure, recorded in the bench log.
+fn report_throughput(_c: &mut Criterion) {
+    let nodes = paper_nodes();
+    let passes = paper_day();
+    let sim = CorridorSimulator::new().with_policy(WakePolicy::paper_default());
+
+    // warm up, then time a fixed batch of simulated days
+    let _ = sim.simulate(&nodes, &passes);
+    const DAYS: usize = 200;
+    let started = Instant::now();
+    let mut events = 0usize;
+    for _ in 0..DAYS {
+        events += sim.simulate(&nodes, &passes).events_processed();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    println!(
+        "event sim throughput: {DAYS} days, {events} events in {:.0} ms -> {:.2} M events/s",
+        elapsed * 1e3,
+        events as f64 / elapsed / 1e6
+    );
+}
+
+criterion_group!(
+    name = benches;
+    config = short_config();
+    targets = bench_simulate_day, report_throughput
+);
+criterion_main!(benches);

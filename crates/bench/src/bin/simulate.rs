@@ -1,0 +1,262 @@
+//! Event-driven corridor simulation: replays one or more seeded days of
+//! (possibly stochastic) traffic through the per-node wake state
+//! machines and prints a reproducible per-node energy report.
+//!
+//! ```console
+//! $ cargo run --release -p corridor_bench --bin simulate -- --help
+//! $ cargo run --release -p corridor_bench --bin simulate -- --model poisson --seed 42
+//! $ cargo run --release -p corridor_bench --bin simulate -- --stats
+//! ```
+//!
+//! Stdout depends only on the options (seeded RNG, no clocks), so piped
+//! output is byte-reproducible; the wall-clock timing goes to stderr.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use corridor_bench::{render, scenario};
+use corridor_core::deploy::IsdTable;
+use corridor_core::report::TextTable;
+use corridor_core::traffic::{
+    DelayModel, MixedTimetable, PoissonTimetable, Timetable, TrafficModel,
+};
+use corridor_core::{AnalyticEvaluator, EnergyStrategy, SegmentEvaluator};
+use corridor_events::{EventDrivenEvaluator, WakePolicy};
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+usage: simulate [options]
+
+options:
+  --model M     deterministic | poisson | jittered | mixed (default: poisson)
+  --seed N      RNG seed for stochastic models (default: 42)
+  --days N      days to simulate and average over (default: 1)
+  --nodes N     repeaters per segment, 0-10 (default: 10)
+  --policy P    wake policy: instant | paper (default: paper)
+  --stats       print the fixed-seed Poisson statistics report and exit
+  --help        this text
+";
+
+struct Options {
+    model: TrafficModel,
+    model_name: String,
+    seed: u64,
+    days: usize,
+    nodes: usize,
+    policy: WakePolicy,
+    policy_name: String,
+    stats: bool,
+}
+
+fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        model: TrafficModel::Poisson(PoissonTimetable::paper_rate()),
+        model_name: "poisson".into(),
+        seed: 42,
+        days: 1,
+        nodes: 10,
+        policy: WakePolicy::paper_default(),
+        policy_name: "paper".into(),
+        stats: false,
+    };
+    let _ = args.next(); // binary name
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--model" => {
+                let name = value("--model")?;
+                opts.model = match name.as_str() {
+                    "deterministic" => TrafficModel::Deterministic(Timetable::paper_default()),
+                    "poisson" => TrafficModel::Poisson(PoissonTimetable::paper_rate()),
+                    "jittered" => TrafficModel::Jittered {
+                        base: Timetable::paper_default(),
+                        delays: DelayModel::typical(),
+                    },
+                    "mixed" => TrafficModel::Mixed(MixedTimetable::paper_mixed()),
+                    other => return Err(format!("unknown model {other}")),
+                };
+                opts.model_name = name;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--days" => {
+                opts.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+                if opts.days == 0 {
+                    return Err("--days must be at least 1".into());
+                }
+            }
+            "--nodes" => {
+                opts.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?;
+                if opts.nodes > 10 {
+                    return Err("--nodes must be 0-10 (the paper's ISD table)".into());
+                }
+            }
+            "--policy" => {
+                let name = value("--policy")?;
+                opts.policy = match name.as_str() {
+                    "instant" => WakePolicy::instant(),
+                    "paper" => WakePolicy::paper_default(),
+                    other => return Err(format!("unknown policy {other}")),
+                };
+                opts.policy_name = name;
+            }
+            "--stats" => opts.stats = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args()) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("simulate: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.stats {
+        print!("{}", render::poisson_stats());
+        return ExitCode::SUCCESS;
+    }
+
+    let params = scenario();
+    let isd = IsdTable::paper()
+        .isd_for(opts.nodes)
+        .expect("nodes validated to 0-10");
+    let evaluator = EventDrivenEvaluator::with_policy(opts.policy);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+
+    let started = Instant::now();
+    let mut reports = Vec::with_capacity(opts.days);
+    for _ in 0..opts.days {
+        let passes = opts.model.passes(&mut rng);
+        reports.push(evaluator.simulate_segment(&params, opts.nodes, isd, &passes));
+    }
+    let elapsed = started.elapsed();
+
+    println!("event-driven corridor simulation");
+    println!();
+    println!(
+        "model: {}  seed: {}  days: {}  policy: {}",
+        opts.model_name, opts.seed, opts.days, opts.policy_name
+    );
+    println!(
+        "segment: {} repeater(s) at ISD {:.0} m, LP spacing {:.0} m",
+        opts.nodes,
+        isd.value(),
+        params.lp_spacing().value()
+    );
+    println!();
+
+    // per-node table, averaged over the simulated days
+    let first = &reports[0];
+    let days = reports.len() as f64;
+    let mut table = TextTable::new(vec![
+        "node".into(),
+        "kind".into(),
+        "section [m]".into(),
+        "wakes/day".into(),
+        "powered [s/day]".into(),
+        "uncovered [s/day]".into(),
+        "energy [Wh/day]".into(),
+    ]);
+    for (idx, node) in first.nodes().iter().enumerate() {
+        let wakes: f64 = reports
+            .iter()
+            .map(|r| r.nodes()[idx].trace().wakes() as f64)
+            .sum::<f64>()
+            / days;
+        let powered: f64 = reports
+            .iter()
+            .map(|r| r.nodes()[idx].trace().powered().value())
+            .sum::<f64>()
+            / days;
+        let uncovered: f64 = reports
+            .iter()
+            .map(|r| r.nodes()[idx].trace().uncovered().value())
+            .sum::<f64>()
+            / days;
+        let model = match node.kind() {
+            corridor_events::NodeKind::HighPowerMast => params.hp_mast(),
+            _ => params.lp_node(),
+        };
+        let energy: f64 = reports
+            .iter()
+            .map(|r| r.nodes()[idx].trace().daily_energy(model).value())
+            .sum::<f64>()
+            / days;
+        table.add_row(vec![
+            idx.to_string(),
+            node.kind().to_string(),
+            format!(
+                "{:.0}..{:.0}",
+                node.section().start().value(),
+                node.section().end().value()
+            ),
+            format!("{wakes:.1}"),
+            format!("{powered:.1}"),
+            format!("{uncovered:.2}"),
+            format!("{energy:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mean_passes: f64 = reports.iter().map(|r| r.passes() as f64).sum::<f64>() / days;
+    let mean_events: f64 = reports
+        .iter()
+        .map(|r| r.events_processed() as f64)
+        .sum::<f64>()
+        / days;
+    println!("mean passes/day: {mean_passes:.1}  mean events/day: {mean_events:.0}");
+    println!();
+
+    // segment energy per strategy, simulated vs closed form
+    println!("per-km energy split (day 1) vs the closed-form backend:");
+    let mut split = TextTable::new(vec![
+        "strategy".into(),
+        "simulated [Wh/h/km]".into(),
+        "analytic [Wh/h/km]".into(),
+        "delta [%]".into(),
+    ]);
+    // the first report already is day 1, and its trace serves all three
+    // strategies
+    for strategy in EnergyStrategy::ALL {
+        let simulated =
+            EventDrivenEvaluator::power_from_report(&params, opts.nodes, isd, strategy, first)
+                .total()
+                .value();
+        let analytic = AnalyticEvaluator
+            .average_power_per_km(&params, opts.nodes, isd, strategy)
+            .total()
+            .value();
+        split.add_row(vec![
+            strategy.to_string(),
+            format!("{simulated:.3}"),
+            format!("{analytic:.3}"),
+            format!("{:+.3}", (simulated / analytic - 1.0) * 100.0),
+        ]);
+    }
+    println!("{}", split.render());
+    eprintln!(
+        "simulated {} day(s) in {:.1} ms ({:.0} events/s)",
+        opts.days,
+        elapsed.as_secs_f64() * 1e3,
+        mean_events * days / elapsed.as_secs_f64().max(1e-9)
+    );
+    ExitCode::SUCCESS
+}

@@ -381,9 +381,98 @@ pub fn isd_sweep() -> String {
     out
 }
 
+/// Renders the fixed-seed Poisson-timetable statistics (`simulate
+/// --stats` and the `poisson_stats` golden file): the event-driven
+/// simulator replays 20 seeded Poisson days through the paper's 10-node
+/// segment and pins the mean and variance of the daily service-repeater
+/// energy against the deterministic closed-form value.
+pub fn poisson_stats() -> String {
+    const SEEDS: u64 = 20;
+    let analytic = experiments::headline_numbers(&scenario())
+        .repeater_daily_energy
+        .value();
+
+    let mut out = String::from(
+        "Poisson timetable sensitivity — event-driven corridor simulator\n\n\
+         model: Poisson arrivals, mean 8 trains/h over a 19 h service window\n\
+         segment: 10 service repeaters at ISD 2650 m, instant wake policy\n\
+         metric: mean daily energy of one service repeater (sleep strategy)\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "seed".into(),
+        "trains".into(),
+        "powered [s]".into(),
+        "energy [Wh/day]".into(),
+    ]);
+    let mut energies = Vec::with_capacity(SEEDS as usize);
+    let mut trains_total = 0usize;
+    for seed in 1..=SEEDS {
+        let day = crate::poisson_service_day(seed);
+        table.add_row(vec![
+            seed.to_string(),
+            day.trains.to_string(),
+            format!("{:.1}", day.powered_s),
+            format!("{:.3}", day.energy_wh),
+        ]);
+        energies.push(day.energy_wh);
+        trains_total += day.trains;
+    }
+    let _ = writeln!(out, "{}", table.render());
+
+    let n = energies.len() as f64;
+    let mean = energies.iter().sum::<f64>() / n;
+    let variance = energies
+        .iter()
+        .map(|e| (e - mean) * (e - mean))
+        .sum::<f64>()
+        / n;
+    let _ = writeln!(out, "runs: {SEEDS}");
+    let _ = writeln!(
+        out,
+        "mean trains/day: {:.1} (rate: 152)",
+        trains_total as f64 / n
+    );
+    let _ = writeln!(
+        out,
+        "mean energy: {mean:.3} Wh/day (deterministic closed form: {analytic:.3})"
+    );
+    let _ = writeln!(
+        out,
+        "deviation from closed form: {:+.3} %",
+        (mean / analytic - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "variance: {variance:.4} Wh^2  std dev: {:.4} Wh",
+        variance.sqrt()
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poisson_stats_is_deterministic_and_close_to_analytic() {
+        let a = poisson_stats();
+        let b = poisson_stats();
+        assert_eq!(a, b);
+        assert!(a.contains("runs: 20"));
+        // the mean sits within a percent of the closed form
+        let line = a
+            .lines()
+            .find(|l| l.starts_with("deviation"))
+            .expect("deviation line");
+        let pct: f64 = line
+            .split_whitespace()
+            .nth(4)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct.abs() < 1.0, "{line}");
+    }
 
     #[test]
     fn every_renderer_ends_with_a_newline() {

@@ -1,0 +1,151 @@
+//! The evaluator abstraction: pluggable backends for the corridor energy
+//! numbers.
+//!
+//! The original reproduction computes every energy figure from the
+//! closed-form duty-cycle math ([`energy::average_power_per_km`]); the
+//! event-driven corridor simulator (`corridor_events`) computes the same
+//! figures by replaying a day of train passes through per-node wake state
+//! machines. Both backends implement [`SegmentEvaluator`], so sweep
+//! engines and experiments can switch between them — and the differential
+//! test harness can pin them against each other.
+
+use corridor_units::Meters;
+
+use crate::energy::{self, SegmentEnergy};
+use crate::{EnergyStrategy, ScenarioParams};
+
+/// A backend that produces the per-kilometre energy split of a corridor
+/// segment under a given operating strategy.
+///
+/// Implementations must agree on the deterministic paper scenarios: the
+/// differential suite (`tests/differential.rs`) asserts that every
+/// backend reproduces the analytic energy split to better than 0.1 % on
+/// the paper's Table III / Fig. 4 cells.
+pub trait SegmentEvaluator {
+    /// A short stable identifier for reports (`"analytic"`,
+    /// `"event-driven"`).
+    fn name(&self) -> &'static str;
+
+    /// Average mains power per km for `n` repeater nodes at inter-site
+    /// distance `isd` under `strategy` (the quantity of the paper's
+    /// Fig. 4 y-axis).
+    fn average_power_per_km(
+        &self,
+        params: &ScenarioParams,
+        n: usize,
+        isd: Meters,
+        strategy: EnergyStrategy,
+    ) -> SegmentEnergy;
+
+    /// The conventional baseline: masts every
+    /// [`ScenarioParams::conventional_isd`], no repeaters, masts sleeping
+    /// between trains.
+    fn conventional_baseline(&self, params: &ScenarioParams) -> SegmentEnergy {
+        self.average_power_per_km(
+            params,
+            0,
+            params.conventional_isd(),
+            EnergyStrategy::SleepModeRepeaters,
+        )
+    }
+
+    /// Fractional savings of the `n`-node deployment at `isd` under
+    /// `strategy` versus this backend's own conventional baseline.
+    fn savings_vs_conventional(
+        &self,
+        params: &ScenarioParams,
+        n: usize,
+        isd: Meters,
+        strategy: EnergyStrategy,
+    ) -> f64 {
+        self.average_power_per_km(params, n, isd, strategy)
+            .savings_vs(&self.conventional_baseline(params))
+    }
+}
+
+/// The closed-form backend: duty-cycle math over merged activity
+/// timelines, exactly as published (delegates to
+/// [`energy::average_power_per_km`]).
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::{energy, AnalyticEvaluator, EnergyStrategy, ScenarioParams, SegmentEvaluator};
+/// use corridor_units::Meters;
+///
+/// let params = ScenarioParams::paper_default();
+/// let via_trait = AnalyticEvaluator.average_power_per_km(
+///     &params, 10, Meters::new(2650.0), EnergyStrategy::SleepModeRepeaters);
+/// let direct = energy::average_power_per_km(
+///     &params, 10, Meters::new(2650.0), EnergyStrategy::SleepModeRepeaters);
+/// assert_eq!(via_trait, direct);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalyticEvaluator;
+
+impl SegmentEvaluator for AnalyticEvaluator {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn average_power_per_km(
+        &self,
+        params: &ScenarioParams,
+        n: usize,
+        isd: Meters,
+        strategy: EnergyStrategy,
+    ) -> SegmentEnergy {
+        energy::average_power_per_km(params, n, isd, strategy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corridor_deploy::IsdTable;
+
+    #[test]
+    fn analytic_evaluator_matches_energy_module() {
+        let params = ScenarioParams::paper_default();
+        let table = IsdTable::paper();
+        for n in 0..=10 {
+            let isd = table.isd_for(n).unwrap();
+            for strategy in EnergyStrategy::ALL {
+                assert_eq!(
+                    AnalyticEvaluator.average_power_per_km(&params, n, isd, strategy),
+                    energy::average_power_per_km(&params, n, isd, strategy),
+                    "n={n} {strategy}"
+                );
+            }
+        }
+        assert_eq!(
+            AnalyticEvaluator.conventional_baseline(&params),
+            energy::conventional_baseline(&params)
+        );
+    }
+
+    #[test]
+    fn default_savings_match_energy_module() {
+        let params = ScenarioParams::paper_default();
+        let table = IsdTable::paper();
+        let isd = table.isd_for(10).unwrap();
+        let via_trait = AnalyticEvaluator.savings_vs_conventional(
+            &params,
+            10,
+            isd,
+            EnergyStrategy::SleepModeRepeaters,
+        );
+        let direct = energy::savings_vs_conventional(
+            &params,
+            &table,
+            10,
+            EnergyStrategy::SleepModeRepeaters,
+        );
+        assert_eq!(via_trait, direct);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(AnalyticEvaluator.name(), "analytic");
+    }
+}

@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+mod evaluator;
 pub mod experiments;
 pub mod report;
 mod scenario;
 mod strategy;
 
+pub use evaluator::{AnalyticEvaluator, SegmentEvaluator};
 pub use scenario::{ScenarioError, ScenarioParams, ScenarioParamsBuilder};
 pub use strategy::EnergyStrategy;
 
@@ -57,7 +59,10 @@ pub use corridor_units as units;
 pub mod prelude {
     pub use crate::energy::{self, SegmentEnergy};
     pub use crate::experiments;
-    pub use crate::{EnergyStrategy, ScenarioError, ScenarioParams, ScenarioParamsBuilder};
+    pub use crate::{
+        AnalyticEvaluator, EnergyStrategy, ScenarioError, ScenarioParams, ScenarioParamsBuilder,
+        SegmentEvaluator,
+    };
     pub use corridor_deploy::{
         Corridor, CorridorLayout, CoverageCriterion, IsdOptimizer, IsdTable, LinkBudget,
         PlacementPolicy, SegmentInventory,

@@ -190,6 +190,9 @@ pub enum ScenarioError {
     NonPositiveTrainSpeed,
     /// The train length is negative.
     NegativeTrainLength,
+    /// A sweep engine was configured with an explicit worker count of
+    /// zero (omit the setting for automatic machine parallelism).
+    ZeroWorkers,
 }
 
 impl fmt::Display for ScenarioError {
@@ -209,6 +212,10 @@ impl fmt::Display for ScenarioError {
                 f.write_str("train speed must be strictly positive")
             }
             ScenarioError::NegativeTrainLength => f.write_str("train length must be non-negative"),
+            ScenarioError::ZeroWorkers => f.write_str(
+                "worker count must be strictly positive (omit the setting for \
+                 automatic machine parallelism)",
+            ),
         }
     }
 }
@@ -531,5 +538,6 @@ mod tests {
         assert!(ScenarioError::NegativeTrainLength
             .to_string()
             .contains("length"));
+        assert!(ScenarioError::ZeroWorkers.to_string().contains("worker"));
     }
 }

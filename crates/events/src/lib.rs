@@ -1,0 +1,66 @@
+//! Discrete-event corridor simulator for the railway energy study.
+//!
+//! The closed-form reproduction (`corridor_core::energy`) computes every
+//! energy number from merged duty-cycle hours, which only works for
+//! deterministic timetables. This crate models the corridor in the time
+//! domain:
+//!
+//! * an [`EventQueue`] of train arrivals/departures per
+//!   [`TrackSection`](corridor_traffic::TrackSection), with barrier
+//!   trips, wake completions and drain expiries interleaved
+//!   deterministically;
+//! * a per-node wake state machine ([`NodeState`]: asleep → waking →
+//!   active → drain) parameterized by a [`WakePolicy`] (barrier lead,
+//!   wake latency, guard interval);
+//! * an energy integrator ([`StateTrace`]) that accumulates per-state
+//!   time and converts it to Wh through the same
+//!   [`DutyCycle`](corridor_power::DutyCycle) arithmetic as the closed
+//!   form;
+//! * an [`EventDrivenEvaluator`] implementing
+//!   [`SegmentEvaluator`](corridor_core::SegmentEvaluator), so sweep
+//!   engines can switch backends — and feed the simulator stochastic
+//!   days (Poisson, jittered, mixed services, double track) the closed
+//!   form cannot express.
+//!
+//! With [`WakePolicy::instant`] the simulated energy split matches the
+//! analytic backend to float precision on every deterministic paper
+//! scenario; the differential suite (`tests/differential.rs`) pins the
+//! two against each other at < 0.1 %.
+//!
+//! # Examples
+//!
+//! ```
+//! use corridor_events::{segment_nodes, CorridorSimulator, NodeKind, WakePolicy};
+//! use corridor_traffic::{PoissonTimetable, Timetable};
+//! use corridor_units::Meters;
+//! use rand::SeedableRng;
+//!
+//! // a seeded stochastic day through the paper's 10-node segment
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let passes = PoissonTimetable::paper_rate().sample_passes(&mut rng);
+//! let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+//! let report = CorridorSimulator::new()
+//!     .with_policy(WakePolicy::paper_default())
+//!     .simulate(&nodes, &passes);
+//! let service = report.nodes_of(NodeKind::ServiceRepeater).next().unwrap();
+//! assert!(service.trace().powered().value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+mod node;
+mod queue;
+mod report;
+mod sim;
+mod trace;
+mod wake;
+
+pub use evaluator::EventDrivenEvaluator;
+pub use node::{segment_nodes, NodeKind, NodeSpec};
+pub use queue::{Event, EventKind, EventQueue};
+pub use report::{NodeReport, SimReport};
+pub use sim::CorridorSimulator;
+pub use trace::StateTrace;
+pub use wake::{NodeState, WakePolicy};

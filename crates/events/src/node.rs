@@ -1,0 +1,173 @@
+//! Node specifications: what the simulator simulates.
+
+use core::fmt;
+
+use corridor_deploy::SegmentInventory;
+use corridor_traffic::TrackSection;
+use corridor_units::Meters;
+
+/// The role of a radio node in the corridor segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A high-power mast serving one full inter-site distance.
+    HighPowerMast,
+    /// A low-power service repeater covering the span around its
+    /// catenary mast.
+    ServiceRepeater,
+    /// A low-power donor repeater feeding the wireless fronthaul; active
+    /// whenever a train is anywhere in the segment.
+    DonorRepeater,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NodeKind::HighPowerMast => "hp-mast",
+            NodeKind::ServiceRepeater => "service",
+            NodeKind::DonorRepeater => "donor",
+        })
+    }
+}
+
+/// One node to simulate: its role and the track section whose occupancy
+/// drives its wake state machine.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_events::{NodeKind, NodeSpec};
+/// use corridor_traffic::TrackSection;
+/// use corridor_units::Meters;
+///
+/// let spec = NodeSpec::new(
+///     NodeKind::HighPowerMast,
+///     TrackSection::new(Meters::ZERO, Meters::new(2650.0)),
+/// );
+/// assert_eq!(spec.kind(), NodeKind::HighPowerMast);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    kind: NodeKind,
+    section: TrackSection,
+}
+
+impl NodeSpec {
+    /// A node of `kind` watching `section`.
+    pub fn new(kind: NodeKind, section: TrackSection) -> Self {
+        NodeSpec { kind, section }
+    }
+
+    /// The node's role.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The coverage section driving the node's occupancy.
+    pub fn section(&self) -> TrackSection {
+        self.section
+    }
+}
+
+/// The standard node population of one corridor segment: one high-power
+/// mast over the whole inter-site distance, `n` service repeaters at
+/// evenly spread centres (each watching a `spacing`-wide section), and
+/// the paper's donor-rule count of donor repeaters watching the whole
+/// segment.
+///
+/// This mirrors the analytic model's accounting
+/// ([`corridor_core::energy::average_power_per_km`]) node for node, so
+/// the two backends agree on deterministic timetables.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_events::{segment_nodes, NodeKind};
+/// use corridor_units::Meters;
+///
+/// let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+/// assert_eq!(nodes.len(), 13); // 1 mast + 10 service + 2 donors
+/// assert_eq!(nodes[0].kind(), NodeKind::HighPowerMast);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `isd` is not strictly positive.
+pub fn segment_nodes(n: usize, isd: Meters, spacing: Meters) -> Vec<NodeSpec> {
+    let inventory = SegmentInventory::for_nodes(n, isd);
+    let mut nodes = Vec::with_capacity(1 + inventory.total_repeaters());
+    nodes.push(NodeSpec::new(
+        NodeKind::HighPowerMast,
+        TrackSection::new(Meters::ZERO, isd),
+    ));
+    for i in 0..n {
+        let center = isd * ((2 * i + 1) as f64 / (2 * n) as f64);
+        nodes.push(NodeSpec::new(
+            NodeKind::ServiceRepeater,
+            TrackSection::around(center, spacing),
+        ));
+    }
+    for _ in 0..inventory.donor_nodes() {
+        nodes.push(NodeSpec::new(
+            NodeKind::DonorRepeater,
+            TrackSection::new(Meters::ZERO, isd),
+        ));
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_population_follows_donor_rule() {
+        let none = segment_nodes(0, Meters::new(500.0), Meters::new(200.0));
+        assert_eq!(none.len(), 1); // conventional segment: mast only
+        let one = segment_nodes(1, Meters::new(1250.0), Meters::new(200.0));
+        assert_eq!(one.len(), 3); // mast + 1 service + 1 donor
+        let ten = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+        assert_eq!(ten.len(), 13); // mast + 10 service + 2 donors
+        assert_eq!(
+            ten.iter()
+                .filter(|s| s.kind() == NodeKind::DonorRepeater)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn service_sections_are_centered_and_sized() {
+        let nodes = segment_nodes(1, Meters::new(1250.0), Meters::new(200.0));
+        let service = nodes[1];
+        assert_eq!(service.kind(), NodeKind::ServiceRepeater);
+        // single node sits at the segment centre, like the analytic model
+        assert_eq!(service.section().start(), Meters::new(525.0));
+        assert_eq!(service.section().end(), Meters::new(725.0));
+
+        let four = segment_nodes(4, Meters::new(2000.0), Meters::new(200.0));
+        let centers: Vec<f64> = four[1..=4]
+            .iter()
+            .map(|s| (s.section().start().value() + s.section().end().value()) / 2.0)
+            .collect();
+        assert_eq!(centers, vec![250.0, 750.0, 1250.0, 1750.0]);
+        for spec in &four[1..=4] {
+            assert_eq!(spec.section().length(), Meters::new(200.0));
+        }
+    }
+
+    #[test]
+    fn donors_watch_the_whole_segment() {
+        let nodes = segment_nodes(3, Meters::new(1600.0), Meters::new(200.0));
+        for spec in nodes.iter().filter(|s| s.kind() == NodeKind::DonorRepeater) {
+            assert_eq!(spec.section().start(), Meters::ZERO);
+            assert_eq!(spec.section().end(), Meters::new(1600.0));
+        }
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NodeKind::HighPowerMast.to_string(), "hp-mast");
+        assert_eq!(NodeKind::ServiceRepeater.to_string(), "service");
+        assert_eq!(NodeKind::DonorRepeater.to_string(), "donor");
+    }
+}

@@ -1,0 +1,216 @@
+//! The event queue: a deterministic min-heap of simulation events.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use corridor_units::Seconds;
+
+/// What fires (or is scheduled to fire) at a node.
+///
+/// At equal timestamps events process in a fixed priority order —
+/// barrier trips before wake completions before train entries before
+/// train exits before drain expiries — so zero-latency policies (an
+/// instant wake at the very second a train enters) resolve
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The photoelectric barrier up-track of the node tripped.
+    BarrierTrip,
+    /// A wake transition completed (tagged with the wake sequence number
+    /// that scheduled it, so stale completions are ignored).
+    WakeComplete(u64),
+    /// A train head entered the node's coverage section.
+    TrainEnter,
+    /// A train tail cleared the node's coverage section.
+    TrainExit,
+    /// The guard interval after the last train expired (tagged with the
+    /// drain sequence number that scheduled it).
+    DrainExpire(u64),
+}
+
+impl EventKind {
+    /// Processing priority at equal timestamps (lower first).
+    fn rank(self) -> u8 {
+        match self {
+            EventKind::BarrierTrip => 0,
+            EventKind::WakeComplete(_) => 1,
+            EventKind::TrainEnter => 2,
+            EventKind::TrainExit => 3,
+            EventKind::DrainExpire(_) => 4,
+        }
+    }
+}
+
+/// One scheduled simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// When the event fires (may lie outside the simulation horizon; the
+    /// energy integrator clamps).
+    pub time: Seconds,
+    /// Index of the node it concerns.
+    pub node: usize,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+/// A heap entry carrying an insertion sequence as the final tiebreak, so
+/// the pop order is a total order independent of heap internals.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    event: Event,
+    seq: u64,
+}
+
+impl HeapEntry {
+    /// Min-first comparison key ordering: time, kind priority, node,
+    /// insertion order.
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        self.event
+            .time
+            .partial_cmp(&other.event.time)
+            .expect("event times are never NaN")
+            .then_with(|| self.event.kind.rank().cmp(&other.event.kind.rank()))
+            .then_with(|| self.event.node.cmp(&other.event.node))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest event
+        self.key_cmp(other).reverse()
+    }
+}
+
+/// A deterministic min-queue of [`Event`]s.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_events::{Event, EventKind, EventQueue};
+/// use corridor_units::Seconds;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Event { time: Seconds::new(5.0), node: 0, kind: EventKind::TrainExit });
+/// q.push(Event { time: Seconds::new(5.0), node: 0, kind: EventKind::TrainEnter });
+/// q.push(Event { time: Seconds::new(1.0), node: 1, kind: EventKind::BarrierTrip });
+/// assert_eq!(q.pop().unwrap().time, Seconds::new(1.0));
+/// // at equal times the entry processes before the exit
+/// assert_eq!(q.pop().unwrap().kind, EventKind::TrainEnter);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { event, seq });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|entry| entry.event)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: f64, node: usize, kind: EventKind) -> Event {
+        Event {
+            time: Seconds::new(time),
+            node,
+            kind,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [9.0, 3.0, 7.0, 1.0, 5.0] {
+            q.push(ev(t, 0, EventKind::TrainEnter));
+        }
+        let mut last = f64::NEG_INFINITY;
+        while let Some(event) = q.pop() {
+            assert!(event.time.value() >= last);
+            last = event.time.value();
+        }
+    }
+
+    #[test]
+    fn equal_times_follow_kind_priority() {
+        let mut q = EventQueue::new();
+        q.push(ev(10.0, 0, EventKind::DrainExpire(1)));
+        q.push(ev(10.0, 0, EventKind::TrainExit));
+        q.push(ev(10.0, 0, EventKind::TrainEnter));
+        q.push(ev(10.0, 0, EventKind::WakeComplete(1)));
+        q.push(ev(10.0, 0, EventKind::BarrierTrip));
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::BarrierTrip,
+                EventKind::WakeComplete(1),
+                EventKind::TrainEnter,
+                EventKind::TrainExit,
+                EventKind::DrainExpire(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_time_and_kind_order_by_node_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(ev(4.0, 2, EventKind::TrainEnter));
+        q.push(ev(4.0, 1, EventKind::TrainEnter));
+        q.push(ev(4.0, 1, EventKind::TrainEnter));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|e| e.node).collect();
+        assert_eq!(order, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(ev(0.0, 0, EventKind::BarrierTrip));
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,520 @@
+//! The discrete-event corridor simulator.
+
+use corridor_traffic::{TrackSection, TrainPass};
+use corridor_units::{Hours, Meters, Seconds};
+
+use crate::{Event, EventKind, EventQueue, NodeSpec, SimReport, StateTrace, WakePolicy};
+use crate::{NodeReport, NodeState};
+
+/// Per-node runtime state of the event loop.
+struct NodeRuntime {
+    state: NodeState,
+    /// Clock of the last state transition, clamped into the horizon.
+    state_since: Seconds,
+    /// Trains currently inside the section.
+    occupancy: u32,
+    /// Barrier trips whose matching exit has not fired yet.
+    expected: u32,
+    /// Invalidates stale wake completions.
+    wake_seq: u64,
+    /// Invalidates stale drain expiries.
+    drain_seq: u64,
+    /// When occupancy last went from zero to positive.
+    occupied_since: Seconds,
+    trace: StateTrace,
+}
+
+/// Replays a day of train passes through per-node wake state machines.
+///
+/// Each node watches its [`TrackSection`]; the simulator builds an event
+/// queue of barrier trips, train entries and exits per node, runs the
+/// asleep → waking → active → drain machine under a [`WakePolicy`], and
+/// integrates per-state time into a [`StateTrace`] per node. The energy
+/// numbers then come from the same duty-cycle arithmetic as the
+/// closed-form model, so with [`WakePolicy::instant`] the two backends
+/// agree to float precision on deterministic timetables.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_events::{segment_nodes, CorridorSimulator};
+/// use corridor_traffic::Timetable;
+/// use corridor_units::Meters;
+///
+/// let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+/// let report = CorridorSimulator::new().simulate(&nodes, &Timetable::paper_default().passes());
+/// assert_eq!(report.nodes().len(), 13);
+/// // the HP mast is powered 9.66 % of the day (the paper's duty factor)
+/// let duty = report.nodes()[0].trace().powered().value() / 86_400.0;
+/// assert!((duty - 0.0966).abs() < 0.0002);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorridorSimulator {
+    policy: WakePolicy,
+    horizon: Seconds,
+}
+
+impl CorridorSimulator {
+    /// A simulator with instant wake transitions over a 24 h horizon.
+    pub fn new() -> Self {
+        CorridorSimulator {
+            policy: WakePolicy::instant(),
+            horizon: Hours::DAY.seconds(),
+        }
+    }
+
+    /// Sets the wake policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: WakePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the simulation horizon (energy is integrated over exactly
+    /// this window; occupancy outside it is clipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not strictly positive.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: Seconds) -> Self {
+        assert!(horizon.value() > 0.0, "horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+
+    /// The wake policy in effect.
+    pub fn policy(&self) -> WakePolicy {
+        self.policy
+    }
+
+    /// The integration horizon.
+    pub fn horizon(&self) -> Seconds {
+        self.horizon
+    }
+
+    /// Simulates single-track traffic: every pass sweeps the corridor in
+    /// the positive direction.
+    pub fn simulate(&self, nodes: &[NodeSpec], passes: &[TrainPass]) -> SimReport {
+        self.run(
+            nodes,
+            passes.len(),
+            nodes.iter().enumerate().flat_map(|(idx, spec)| {
+                passes
+                    .iter()
+                    .map(move |pass| (idx, spec.section().occupancy(pass)))
+            }),
+        )
+    }
+
+    /// Simulates bidirectional double-track traffic over a corridor of
+    /// `corridor_length`. Up-direction passes sweep the sections as
+    /// given; down-direction passes sweep the mirrored corridor (their
+    /// head crosses position `corridor_length` at origin time), which is
+    /// equivalent to evaluating the mirrored section `[L−end, L−start]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section extends beyond `[0, corridor_length]` (it
+    /// could not be mirrored).
+    pub fn simulate_double_track(
+        &self,
+        nodes: &[NodeSpec],
+        up: &[TrainPass],
+        down: &[TrainPass],
+        corridor_length: Meters,
+    ) -> SimReport {
+        let mirrored: Vec<TrackSection> = nodes
+            .iter()
+            .map(|spec| {
+                let s = spec.section();
+                assert!(
+                    s.start().value() >= 0.0 && s.end() <= corridor_length,
+                    "section {s} extends beyond the corridor"
+                );
+                TrackSection::new(corridor_length - s.end(), corridor_length - s.start())
+            })
+            .collect();
+        let up_occ = nodes.iter().enumerate().flat_map(|(idx, spec)| {
+            up.iter()
+                .map(move |pass| (idx, spec.section().occupancy(pass)))
+        });
+        let down_occ = mirrored
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, section)| down.iter().map(move |pass| (idx, section.occupancy(pass))));
+        self.run(nodes, up.len() + down.len(), up_occ.chain(down_occ))
+    }
+
+    /// The core loop: schedules barrier/enter/exit events for every
+    /// `(node, occupancy)` pair, then drives the state machines.
+    fn run(
+        &self,
+        nodes: &[NodeSpec],
+        passes: usize,
+        occupancies: impl Iterator<Item = (usize, (Seconds, Seconds))>,
+    ) -> SimReport {
+        let mut queue = EventQueue::new();
+        for (node, (enter, exit)) in occupancies {
+            // intervals entirely outside the horizon never power the node
+            if exit <= Seconds::ZERO || enter >= self.horizon || exit <= enter {
+                continue;
+            }
+            queue.push(Event {
+                time: enter - self.policy.lead(),
+                node,
+                kind: EventKind::BarrierTrip,
+            });
+            queue.push(Event {
+                time: enter,
+                node,
+                kind: EventKind::TrainEnter,
+            });
+            queue.push(Event {
+                time: exit,
+                node,
+                kind: EventKind::TrainExit,
+            });
+        }
+
+        let mut runtimes: Vec<NodeRuntime> = nodes
+            .iter()
+            .map(|_| NodeRuntime {
+                state: NodeState::Asleep,
+                state_since: Seconds::ZERO,
+                occupancy: 0,
+                expected: 0,
+                wake_seq: 0,
+                drain_seq: 0,
+                occupied_since: Seconds::ZERO,
+                trace: StateTrace::new(self.horizon),
+            })
+            .collect();
+
+        let mut events = 0usize;
+        while let Some(event) = queue.pop() {
+            events += 1;
+            self.handle(&mut runtimes[event.node], event, &mut queue);
+        }
+
+        // close every node's final state segment at the horizon
+        let reports = nodes
+            .iter()
+            .zip(runtimes)
+            .map(|(spec, mut rt)| {
+                let remaining = self.horizon - rt.state_since;
+                rt.trace.add(rt.state, remaining);
+                NodeReport::new(spec.kind(), spec.section(), rt.trace)
+            })
+            .collect();
+        SimReport::new(reports, self.horizon, events, passes)
+    }
+
+    /// Transitions `rt` to `next` at clock `t`, billing the elapsed
+    /// segment to the outgoing state.
+    fn transition(&self, rt: &mut NodeRuntime, t: Seconds, next: NodeState) {
+        let clock = t.max(Seconds::ZERO).min(self.horizon);
+        rt.trace.add(rt.state, clock - rt.state_since);
+        if rt.state == NodeState::Asleep && next == NodeState::Waking {
+            rt.trace.count_wake();
+        }
+        rt.state = next;
+        rt.state_since = clock;
+    }
+
+    fn handle(&self, rt: &mut NodeRuntime, event: Event, queue: &mut EventQueue) {
+        let t = event.time;
+        match event.kind {
+            EventKind::BarrierTrip => {
+                rt.expected += 1;
+                match rt.state {
+                    NodeState::Asleep => {
+                        self.transition(rt, t, NodeState::Waking);
+                        rt.wake_seq += 1;
+                        queue.push(Event {
+                            time: t + self.policy.wake_delay(),
+                            node: event.node,
+                            kind: EventKind::WakeComplete(rt.wake_seq),
+                        });
+                    }
+                    NodeState::Drain => {
+                        // a new train is approaching: cancel the drain
+                        rt.drain_seq += 1;
+                        self.transition(rt, t, NodeState::Active);
+                    }
+                    NodeState::Waking | NodeState::Active => {}
+                }
+            }
+            EventKind::WakeComplete(seq) => {
+                if rt.state == NodeState::Waking && seq == rt.wake_seq {
+                    if rt.occupancy > 0 {
+                        // the train spent the wake transition uncovered
+                        rt.trace
+                            .add_uncovered(t.min(self.horizon) - rt.occupied_since);
+                        self.transition(rt, t, NodeState::Active);
+                    } else if rt.expected > 0 {
+                        // powered early (barrier lead): await the train
+                        self.transition(rt, t, NodeState::Active);
+                    } else {
+                        // the train came and went while we were waking
+                        rt.drain_seq += 1;
+                        self.transition(rt, t, NodeState::Drain);
+                        queue.push(Event {
+                            time: t + self.policy.guard(),
+                            node: event.node,
+                            kind: EventKind::DrainExpire(rt.drain_seq),
+                        });
+                    }
+                }
+            }
+            EventKind::TrainEnter => {
+                if rt.occupancy == 0 {
+                    rt.occupied_since = t.max(Seconds::ZERO).min(self.horizon);
+                }
+                rt.occupancy += 1;
+                match rt.state {
+                    NodeState::Drain => {
+                        rt.drain_seq += 1;
+                        self.transition(rt, t, NodeState::Active);
+                    }
+                    NodeState::Asleep => {
+                        // defensive: a barrier always trips first (lead ≥ 0),
+                        // but an unsensed train must still wake the node
+                        self.transition(rt, t, NodeState::Waking);
+                        rt.wake_seq += 1;
+                        queue.push(Event {
+                            time: t + self.policy.wake_delay(),
+                            node: event.node,
+                            kind: EventKind::WakeComplete(rt.wake_seq),
+                        });
+                    }
+                    NodeState::Waking | NodeState::Active => {}
+                }
+            }
+            EventKind::TrainExit => {
+                rt.occupancy = rt.occupancy.saturating_sub(1);
+                rt.expected = rt.expected.saturating_sub(1);
+                if rt.occupancy == 0 {
+                    match rt.state {
+                        NodeState::Waking => {
+                            // the whole pass fell inside the wake transition
+                            rt.trace
+                                .add_uncovered(t.min(self.horizon) - rt.occupied_since);
+                        }
+                        NodeState::Active if rt.expected == 0 => {
+                            rt.drain_seq += 1;
+                            self.transition(rt, t, NodeState::Drain);
+                            queue.push(Event {
+                                time: t + self.policy.guard(),
+                                node: event.node,
+                                kind: EventKind::DrainExpire(rt.drain_seq),
+                            });
+                        }
+                        // a tripped train is still approaching: stay powered
+                        _ => {}
+                    }
+                }
+            }
+            EventKind::DrainExpire(seq) => {
+                if rt.state == NodeState::Drain && seq == rt.drain_seq {
+                    self.transition(rt, t, NodeState::Asleep);
+                }
+            }
+        }
+    }
+}
+
+impl Default for CorridorSimulator {
+    /// Returns [`CorridorSimulator::new`].
+    fn default() -> Self {
+        CorridorSimulator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{segment_nodes, NodeKind};
+    use corridor_traffic::{ActivityTimeline, Timetable, Train};
+
+    fn paper_passes() -> Vec<TrainPass> {
+        Timetable::paper_default().passes()
+    }
+
+    #[test]
+    fn instant_policy_reproduces_activity_timeline() {
+        let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+        let report = CorridorSimulator::new().simulate(&nodes, &paper_passes());
+        for node in report.nodes() {
+            let analytic = ActivityTimeline::for_section(&node.section(), &paper_passes())
+                .total_active()
+                .value();
+            let simulated = node.trace().powered().value();
+            assert!(
+                (simulated - analytic).abs() < 1e-6,
+                "{}: {simulated} vs {analytic}",
+                node.kind()
+            );
+            assert_eq!(node.trace().wakes(), 152);
+            assert_eq!(node.trace().uncovered(), Seconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn lead_and_guard_extend_powered_time() {
+        let nodes = segment_nodes(1, Meters::new(1250.0), Meters::new(200.0));
+        let instant = CorridorSimulator::new().simulate(&nodes, &paper_passes());
+        let padded = CorridorSimulator::new()
+            .with_policy(WakePolicy::new(
+                Seconds::new(2.0),
+                Seconds::ZERO,
+                Seconds::new(3.0),
+            ))
+            .simulate(&nodes, &paper_passes());
+        // 152 passes × (2 s lead + 3 s guard) of extra powered time
+        let extra = padded.nodes()[1].trace().powered().value()
+            - instant.nodes()[1].trace().powered().value();
+        assert!((extra - 152.0 * 5.0).abs() < 1e-6, "extra {extra}");
+        assert_eq!(padded.nodes()[1].trace().uncovered(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn wake_delay_without_lead_leaves_uncovered_time() {
+        let nodes = segment_nodes(1, Meters::new(1250.0), Meters::new(200.0));
+        let report = CorridorSimulator::new()
+            .with_policy(WakePolicy::new(
+                Seconds::ZERO,
+                Seconds::new(0.3),
+                Seconds::ZERO,
+            ))
+            .simulate(&nodes, &paper_passes());
+        let service = &report.nodes()[1];
+        // 152 passes × 0.3 s of waking while the train is in the section
+        assert!((service.trace().uncovered().value() - 152.0 * 0.3).abs() < 1e-6);
+        assert!((service.trace().waking().value() - 152.0 * 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_occupancy_merges_like_the_timeline() {
+        // two trains 5 s apart in a section each occupies for ~16.2 s:
+        // the node must stay powered across the overlap, not double-bill
+        let train = Train::paper_default();
+        let passes = vec![
+            TrainPass::new(train, Seconds::new(1000.0)),
+            TrainPass::new(train, Seconds::new(1005.0)),
+        ];
+        let nodes = vec![NodeSpec::new(
+            NodeKind::HighPowerMast,
+            TrackSection::new(Meters::ZERO, Meters::new(500.0)),
+        )];
+        let report = CorridorSimulator::new().simulate(&nodes, &passes);
+        let analytic = ActivityTimeline::for_section(&nodes[0].section(), &passes)
+            .total_active()
+            .value();
+        assert!((report.nodes()[0].trace().powered().value() - analytic).abs() < 1e-9);
+        // one merged powered episode, not two
+        assert_eq!(report.nodes()[0].trace().wakes(), 1);
+    }
+
+    #[test]
+    fn occupancy_clipped_to_horizon() {
+        let train = Train::paper_default();
+        // the pass exits the section after the day ends
+        let passes = vec![TrainPass::new(train, Seconds::new(86_395.0))];
+        let nodes = vec![NodeSpec::new(
+            NodeKind::HighPowerMast,
+            TrackSection::new(Meters::ZERO, Meters::new(500.0)),
+        )];
+        let report = CorridorSimulator::new().simulate(&nodes, &passes);
+        let powered = report.nodes()[0].trace().powered().value();
+        assert!((powered - 5.0).abs() < 1e-9, "powered {powered}");
+        // and one entirely past the horizon contributes nothing
+        let late = vec![TrainPass::new(train, Seconds::new(90_000.0))];
+        let report = CorridorSimulator::new().simulate(&nodes, &late);
+        assert_eq!(report.nodes()[0].trace().powered(), Seconds::ZERO);
+        assert_eq!(report.nodes()[0].trace().wakes(), 0);
+    }
+
+    #[test]
+    fn double_track_doubles_the_load() {
+        let nodes = segment_nodes(2, Meters::new(1900.0), Meters::new(200.0));
+        let up = paper_passes();
+        // offset the down direction by half a headway so no occupancy
+        // coincides (same-slot opposing trains would merge, not add)
+        let base = Timetable::paper_default();
+        let down = Timetable::new(
+            base.trains_per_hour(),
+            base.service_window(),
+            base.service_start() + Seconds::new(225.0),
+            base.train(),
+        )
+        .passes();
+        let single = CorridorSimulator::new().simulate(&nodes, &up);
+        let double =
+            CorridorSimulator::new().simulate_double_track(&nodes, &up, &down, Meters::new(1900.0));
+        for (s, d) in single.nodes().iter().zip(double.nodes()) {
+            // twice the traffic, twice the powered time (no overlaps)
+            let ratio = d.trace().powered().value() / s.trace().powered().value();
+            assert!((ratio - 2.0).abs() < 1e-6, "{}: ratio {ratio}", s.kind());
+        }
+        assert_eq!(double.passes(), 304);
+    }
+
+    #[test]
+    fn mirrored_sections_shift_entry_times_only() {
+        // a single down-direction train: the node near the far end sees
+        // it first
+        let train = Train::paper_default();
+        let down = vec![TrainPass::new(train, Seconds::new(1000.0))];
+        let near = NodeSpec::new(
+            NodeKind::ServiceRepeater,
+            TrackSection::new(Meters::new(100.0), Meters::new(300.0)),
+        );
+        let far = NodeSpec::new(
+            NodeKind::ServiceRepeater,
+            TrackSection::new(Meters::new(1700.0), Meters::new(1900.0)),
+        );
+        let report = CorridorSimulator::new().simulate_double_track(
+            &[near, far],
+            &[],
+            &down,
+            Meters::new(2000.0),
+        );
+        // both nodes see the same occupancy duration
+        let near_t = report.nodes()[0].trace().powered().value();
+        let far_t = report.nodes()[1].trace().powered().value();
+        assert!((near_t - far_t).abs() < 1e-9);
+        assert!(near_t > 0.0);
+    }
+
+    #[test]
+    fn event_count_is_reported() {
+        let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+        let report = CorridorSimulator::new().simulate(&nodes, &paper_passes());
+        // 13 nodes × 152 passes × 3 static events, plus drains
+        assert!(report.events_processed() >= 13 * 152 * 3);
+        assert_eq!(report.passes(), 152);
+        assert_eq!(report.horizon(), Seconds::new(86_400.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "extends beyond the corridor")]
+    fn unmirrorable_section_rejected() {
+        let nodes = vec![NodeSpec::new(
+            NodeKind::HighPowerMast,
+            TrackSection::new(Meters::ZERO, Meters::new(500.0)),
+        )];
+        let _ =
+            CorridorSimulator::new().simulate_double_track(&nodes, &[], &[], Meters::new(400.0));
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let sim = CorridorSimulator::new()
+            .with_policy(WakePolicy::paper_default())
+            .with_horizon(Seconds::new(3600.0));
+        assert_eq!(sim.policy(), WakePolicy::paper_default());
+        assert_eq!(sim.horizon(), Seconds::new(3600.0));
+        assert_eq!(CorridorSimulator::default(), CorridorSimulator::new());
+    }
+}

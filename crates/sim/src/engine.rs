@@ -1,6 +1,8 @@
-//! Serial and parallel sweep execution.
+//! Serial and parallel sweep execution over pluggable energy backends.
 
-use corridor_core::{energy, EnergyStrategy, ScenarioError};
+use corridor_core::energy::SegmentEnergy;
+use corridor_core::{AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
+use corridor_events::{EventDrivenEvaluator, WakePolicy};
 use corridor_solar::{sizing, DailyLoadProfile};
 use corridor_traffic::{ActivityTimeline, TrackSection};
 use corridor_units::Watts;
@@ -8,46 +10,151 @@ use rayon::prelude::*;
 
 use crate::{CellResult, PvOutcome, ScenarioCell, ScenarioGrid, SweepReport};
 
+/// Which energy backend evaluates the cells.
+///
+/// Both backends agree to < 0.1 % on deterministic timetables (enforced
+/// by the differential suite); the event-driven one additionally models
+/// wake latency and guard intervals through its [`WakePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Evaluator {
+    /// Closed-form duty-cycle math (the published model; fastest).
+    #[default]
+    Analytic,
+    /// Discrete-event simulation of every node under the given wake
+    /// policy.
+    EventDriven(WakePolicy),
+}
+
+impl Evaluator {
+    /// The event-driven backend with instant wake transitions — the
+    /// configuration the differential harness compares against the
+    /// analytic backend.
+    pub fn event_driven() -> Self {
+        Evaluator::EventDriven(WakePolicy::instant())
+    }
+
+    /// A short stable label for report columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Evaluator::Analytic => AnalyticEvaluator.name(),
+            Evaluator::EventDriven(policy) => EventDrivenEvaluator::with_policy(*policy).name(),
+        }
+    }
+
+    /// Evaluates one cell's baseline and the three strategy splits.
+    ///
+    /// Returned in `[baseline, continuous, sleep, solar]` order. The
+    /// event-driven backend simulates each geometry once (the state
+    /// trace is strategy-independent), so a cell costs two simulated
+    /// days — deployment and conventional baseline — not four.
+    fn splits(&self, cell: &ScenarioCell) -> [SegmentEnergy; 4] {
+        let params = cell.params();
+        let baseline_isd = params.conventional_isd();
+        match self {
+            Evaluator::Analytic => {
+                let at = |n, isd, strategy| {
+                    AnalyticEvaluator.average_power_per_km(params, n, isd, strategy)
+                };
+                [
+                    at(0, baseline_isd, EnergyStrategy::SleepModeRepeaters),
+                    at(
+                        cell.nodes(),
+                        cell.isd(),
+                        EnergyStrategy::ContinuousRepeaters,
+                    ),
+                    at(cell.nodes(), cell.isd(), EnergyStrategy::SleepModeRepeaters),
+                    at(
+                        cell.nodes(),
+                        cell.isd(),
+                        EnergyStrategy::SolarPoweredRepeaters,
+                    ),
+                ]
+            }
+            Evaluator::EventDriven(policy) => {
+                let backend = EventDrivenEvaluator::with_policy(*policy);
+                let passes = params.timetable().passes();
+                let baseline_report = backend.simulate_segment(params, 0, baseline_isd, &passes);
+                let report = backend.simulate_segment(params, cell.nodes(), cell.isd(), &passes);
+                let at = |strategy| {
+                    EventDrivenEvaluator::power_from_report(
+                        params,
+                        cell.nodes(),
+                        cell.isd(),
+                        strategy,
+                        &report,
+                    )
+                };
+                [
+                    EventDrivenEvaluator::power_from_report(
+                        params,
+                        0,
+                        baseline_isd,
+                        EnergyStrategy::SleepModeRepeaters,
+                        &baseline_report,
+                    ),
+                    at(EnergyStrategy::ContinuousRepeaters),
+                    at(EnergyStrategy::SleepModeRepeaters),
+                    at(EnergyStrategy::SolarPoweredRepeaters),
+                ]
+            }
+        }
+    }
+}
+
 /// Executes a [`ScenarioGrid`], cell by cell, serially or on a worker
 /// pool.
 ///
 /// Each cell is evaluated independently (energy split for the three
-/// strategies, savings versus the cell's conventional baseline, and —
-/// unless disabled — the off-grid PV sizing for the cell's climate), so
-/// the parallel path produces results identical to the serial one, in the
-/// same deterministic grid order.
+/// strategies through the selected [`Evaluator`], savings versus the
+/// cell's conventional baseline, and — unless disabled — the off-grid PV
+/// sizing for the cell's climate), so the parallel path produces results
+/// identical to the serial one, in the same deterministic grid order.
 ///
 /// # Examples
 ///
 /// ```
 /// use corridor_core::EnergyStrategy;
-/// use corridor_sim::{ScenarioGrid, SweepEngine};
+/// use corridor_sim::{Evaluator, ScenarioGrid, SweepEngine};
 ///
 /// let engine = SweepEngine::new().workers(2).pv_sizing(false);
 /// let report = engine.run(&ScenarioGrid::new()).unwrap();
 /// // the paper's 74 % sleep-mode saving, via the sweep path
 /// let saving = report.results()[0].savings(EnergyStrategy::SleepModeRepeaters);
 /// assert!((saving - 0.74).abs() < 0.01);
+///
+/// // the same grid through the event-driven backend
+/// let simulated = engine.evaluator(Evaluator::event_driven()).run(&ScenarioGrid::new()).unwrap();
+/// let sim_saving = simulated.results()[0].savings(EnergyStrategy::SleepModeRepeaters);
+/// assert!((sim_saving - saving).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepEngine {
-    workers: usize,
+    workers: Option<usize>,
     pv_sizing: bool,
+    evaluator: Evaluator,
 }
 
 impl SweepEngine {
-    /// An engine with automatic worker count and PV sizing enabled.
+    /// An engine with automatic worker count, PV sizing enabled and the
+    /// analytic backend.
     pub fn new() -> Self {
         SweepEngine {
-            workers: 0,
+            workers: None,
             pv_sizing: true,
+            evaluator: Evaluator::Analytic,
         }
     }
 
-    /// Sets the worker count; `0` means automatic (machine parallelism).
+    /// Sets an explicit worker count.
+    ///
+    /// An explicit `0` is rejected by [`SweepEngine::run`] with
+    /// [`ScenarioError::ZeroWorkers`] — it used to be silently
+    /// reinterpreted as "automatic", which hid configuration bugs. Omit
+    /// the call (or rebuild the engine) for automatic machine
+    /// parallelism.
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
+        self.workers = Some(workers);
         self
     }
 
@@ -59,16 +166,27 @@ impl SweepEngine {
         self
     }
 
+    /// Selects the energy backend evaluating every cell.
+    #[must_use]
+    pub fn evaluator(mut self, evaluator: Evaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
     /// Expands the grid and evaluates every cell on the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns a [`ScenarioError`] if the grid expansion rejects a cell's
-    /// parameters.
+    /// Returns [`ScenarioError::ZeroWorkers`] if an explicit worker
+    /// count of zero was configured, or the [`ScenarioError`] of the
+    /// first cell whose parameters fail validation.
     pub fn run(&self, grid: &ScenarioGrid) -> Result<SweepReport, ScenarioError> {
+        if self.workers == Some(0) {
+            return Err(ScenarioError::ZeroWorkers);
+        }
         let cells = grid.expand()?;
         let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.workers)
+            .num_threads(self.workers.unwrap_or(0))
             .build()
             .expect("shim pool build is infallible");
         let results: Vec<CellResult> =
@@ -81,9 +199,14 @@ impl SweepEngine {
     ///
     /// # Errors
     ///
-    /// Returns a [`ScenarioError`] if the grid expansion rejects a cell's
-    /// parameters.
+    /// Returns [`ScenarioError::ZeroWorkers`] if an explicit worker
+    /// count of zero was configured (the serial path needs no pool, but
+    /// the configuration is just as wrong), or the [`ScenarioError`] of
+    /// the first cell whose parameters fail validation.
     pub fn run_serial(&self, grid: &ScenarioGrid) -> Result<SweepReport, ScenarioError> {
+        if self.workers == Some(0) {
+            return Err(ScenarioError::ZeroWorkers);
+        }
         let cells = grid.expand()?;
         Ok(SweepReport::new(
             cells.iter().map(|cell| self.evaluate(cell)).collect(),
@@ -92,10 +215,7 @@ impl SweepEngine {
 
     /// Evaluates one cell.
     pub fn evaluate(&self, cell: &ScenarioCell) -> CellResult {
-        let params = cell.params();
-        let baseline = energy::conventional_baseline(params);
-        let at =
-            |strategy| energy::average_power_per_km(params, cell.nodes(), cell.isd(), strategy);
+        let [baseline, continuous, sleep, solar] = self.evaluator.splits(cell);
         let pv = if self.pv_sizing {
             self.size_pv(cell)
         } else {
@@ -103,10 +223,11 @@ impl SweepEngine {
         };
         CellResult::new(
             cell.clone(),
+            self.evaluator.name(),
             baseline,
-            at(EnergyStrategy::ContinuousRepeaters),
-            at(EnergyStrategy::SleepModeRepeaters),
-            at(EnergyStrategy::SolarPoweredRepeaters),
+            continuous,
+            sleep,
+            solar,
             pv,
         )
     }
@@ -175,6 +296,7 @@ mod tests {
         assert!(
             (r.savings(EnergyStrategy::SolarPoweredRepeaters) - h.savings_solar_10).abs() < 1e-12
         );
+        assert_eq!(r.evaluator(), "analytic");
     }
 
     #[test]
@@ -236,5 +358,46 @@ mod tests {
             assert!(c > s, "{}", r.cell());
             assert!(s > z, "{}", r.cell());
         }
+    }
+
+    #[test]
+    fn explicit_zero_workers_is_rejected() {
+        let engine = SweepEngine::new().workers(0).pv_sizing(false);
+        let err = engine.run(&ScenarioGrid::new()).unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroWorkers);
+        // the serial path rejects the same misconfiguration
+        let err = engine.run_serial(&ScenarioGrid::new()).unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroWorkers);
+        // automatic parallelism (no explicit count) still works
+        assert!(SweepEngine::new()
+            .pv_sizing(false)
+            .run(&ScenarioGrid::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn event_driven_backend_matches_analytic_on_the_paper_cell() {
+        let grid = ScenarioGrid::new();
+        let engine = SweepEngine::new().workers(1).pv_sizing(false);
+        let analytic = engine.run(&grid).unwrap();
+        let simulated = engine
+            .evaluator(Evaluator::event_driven())
+            .run(&grid)
+            .unwrap();
+        let a = &analytic.results()[0];
+        let s = &simulated.results()[0];
+        assert_eq!(s.evaluator(), "event-driven");
+        for strategy in EnergyStrategy::ALL {
+            let rel = (s.split(strategy).total().value() - a.split(strategy).total().value()).abs()
+                / a.split(strategy).total().value();
+            assert!(rel < 1e-3, "{strategy}: {rel}");
+        }
+    }
+
+    #[test]
+    fn evaluator_labels() {
+        assert_eq!(Evaluator::Analytic.name(), "analytic");
+        assert_eq!(Evaluator::event_driven().name(), "event-driven");
+        assert_eq!(Evaluator::default(), Evaluator::Analytic);
     }
 }

@@ -16,7 +16,9 @@
 //! builder, and a [`SweepEngine`] evaluates every [`ScenarioCell`] —
 //! energy split per strategy, savings versus the cell's conventional
 //! baseline, and off-grid PV sizing — serially or on the offline `rayon`
-//! worker pool. Results land in a typed [`SweepReport`] whose CSV/JSON
+//! worker pool, through either energy backend ([`Evaluator::Analytic`]
+//! closed-form math or [`Evaluator::EventDriven`] discrete-event
+//! simulation). Results land in a typed [`SweepReport`] whose CSV/JSON
 //! renderings are byte-identical no matter how many workers produced
 //! them.
 //!
@@ -47,6 +49,8 @@ mod grid;
 mod report;
 
 pub use cell::{CellResult, PvOutcome, ScenarioCell};
-pub use engine::SweepEngine;
+pub use engine::{Evaluator, SweepEngine};
 pub use grid::{PowerProfile, ScenarioGrid};
 pub use report::{SweepReport, CSV_HEADER};
+
+pub use corridor_events::WakePolicy;

@@ -11,7 +11,7 @@ use crate::{CellResult, PvOutcome};
 /// The CSV header [`SweepReport::to_csv`] writes.
 pub const CSV_HEADER: &str = "cell,trains_per_hour,service_window_h,train_speed_kmh,\
 train_length_m,lp_spacing_m,conventional_isd_m,power_profile,climate,nodes,deployment_isd_m,\
-baseline_wh_km,continuous_wh_km,sleep_wh_km,solar_wh_km,\
+evaluator,baseline_wh_km,continuous_wh_km,sleep_wh_km,solar_wh_km,\
 sleep_hp_wh_km,sleep_service_wh_km,sleep_donor_wh_km,\
 saving_continuous_pct,saving_sleep_pct,saving_solar_pct,pv_wp,battery_wh,days_full_pct";
 
@@ -101,7 +101,7 @@ impl SweepReport {
             let sleep = r.split(EnergyStrategy::SleepModeRepeaters);
             let _ = writeln!(
                 out,
-                "{},{},{},{:.1},{},{},{},{},{},{},{:.0},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2},{:.2},{:.2},{pv_wp},{battery_wh},{days_full}",
+                "{},{},{},{:.1},{},{},{},{},{},{},{:.0},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2},{:.2},{:.2},{pv_wp},{battery_wh},{days_full}",
                 c.index(),
                 c.trains_per_hour(),
                 c.service_window_h(),
@@ -113,6 +113,7 @@ impl SweepReport {
                 csv_field(c.location().name()),
                 c.nodes(),
                 c.isd().value(),
+                r.evaluator(),
                 r.baseline().total().value(),
                 r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
                 sleep.total().value(),
@@ -141,7 +142,7 @@ impl SweepReport {
                 "\"cell\": {}, \"trains_per_hour\": {}, \"service_window_h\": {}, \
                  \"train_speed_kmh\": {:.1}, \"train_length_m\": {}, \"lp_spacing_m\": {}, \
                  \"conventional_isd_m\": {}, \"power_profile\": {}, \"climate\": {}, \
-                 \"nodes\": {}, \"deployment_isd_m\": {}, \
+                 \"nodes\": {}, \"deployment_isd_m\": {}, \"evaluator\": {}, \
                  \"baseline_wh_km\": {:.3}, \"continuous_wh_km\": {:.3}, \
                  \"sleep_wh_km\": {:.3}, \"solar_wh_km\": {:.3}, \
                  \"sleep_split_wh_km\": {{\"hp\": {:.3}, \"service\": {:.3}, \"donor\": {:.3}}}, \
@@ -157,6 +158,7 @@ impl SweepReport {
                 json_string(c.location().name()),
                 c.nodes(),
                 c.isd().value(),
+                json_string(r.evaluator()),
                 r.baseline().total().value(),
                 r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
                 sleep.total().value(),
@@ -265,9 +267,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], CSV_HEADER);
-        assert_eq!(lines[0].split(',').count(), 24);
+        assert_eq!(lines[0].split(',').count(), 25);
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 24, "{line}");
+            assert_eq!(line.split(',').count(), 25, "{line}");
+            assert!(line.contains(",analytic,"), "{line}");
         }
         // skipped PV → empty trailing columns
         assert!(lines[1].ends_with(",,,"));
@@ -280,6 +283,7 @@ mod tests {
         assert!(json.starts_with("[\n"));
         assert!(json.ends_with("]\n"));
         assert_eq!(json.matches("\"cell\":").count(), 2);
+        assert_eq!(json.matches("\"evaluator\": \"analytic\"").count(), 2);
         assert_eq!(json.matches("\"pv_status\": \"skipped\"").count(), 2);
         // balanced braces (no nested strings with braces in this report)
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -352,7 +356,7 @@ mod tests {
         let csv = report.to_csv();
         let row = csv.lines().nth(1).unwrap();
         assert!(row.contains("\"2x2,\"\"mimo\"\"\""), "{row}");
-        // the quoted field keeps the column count at 24 for a CSV parser
+        // the quoted field keeps the column count at 25 for a CSV parser
         // (naive comma splitting sees the extra comma inside the quotes)
         assert_eq!(csv_field("plain"), "plain");
         assert_eq!(csv_field("a,b"), "\"a,b\"");

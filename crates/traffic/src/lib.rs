@@ -10,6 +10,9 @@
 //! * [`Timetable`] — the paper's deterministic service pattern (8 trains/h
 //!   for 19 h, 5 h night pause) and a Poisson alternative
 //!   ([`PoissonTimetable`]) for sensitivity studies;
+//! * [`TrafficModel`] and friends ([`DelayModel`], [`MixedTimetable`],
+//!   [`DoubleTrack`]) — seeded stochastic and irregular traffic sources
+//!   for the event-driven corridor simulator;
 //! * [`TrackSection`] — a coverage section with entry/exit occupancy
 //!   computation;
 //! * [`ActivityTimeline`] — merged busy intervals for a node over a day,
@@ -36,11 +39,13 @@
 mod activity;
 mod schedule;
 mod section;
+mod stochastic;
 mod train;
 mod wake;
 
 pub use activity::ActivityTimeline;
 pub use schedule::{PoissonTimetable, Timetable};
 pub use section::TrackSection;
+pub use stochastic::{DelayModel, DoubleTrack, MixedTimetable, TrafficModel};
 pub use train::{Train, TrainPass};
 pub use wake::WakeController;

@@ -168,6 +168,21 @@ impl PoissonTimetable {
         self.rate_per_hour
     }
 
+    /// Length of the daily service window.
+    pub fn service_window(&self) -> Hours {
+        self.service_window
+    }
+
+    /// Time of day at which service begins.
+    pub fn service_start(&self) -> Seconds {
+        self.service_start
+    }
+
+    /// The rolling stock.
+    pub fn train(&self) -> Train {
+        self.train
+    }
+
     /// Samples one day of passes using exponential inter-arrival times.
     pub fn sample_passes<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<TrainPass> {
         let mean_gap = 3600.0 / self.rate_per_hour;

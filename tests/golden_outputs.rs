@@ -61,3 +61,4 @@ golden_test!(table4);
 golden_test!(fig3);
 golden_test!(fig4);
 golden_test!(isd_sweep);
+golden_test!(poisson_stats);
