@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential doc quickstart bench-build bench-sweep results
+.PHONY: ci fmt-check clippy build test golden differential mc doc quickstart bench-build bench-sweep bench-mc results
 
-ci: fmt-check clippy build test golden differential doc quickstart bench-build bench-sweep
+ci: fmt-check clippy build test golden differential mc doc quickstart bench-build bench-sweep bench-mc
 
 fmt-check:
 	cargo fmt --all --check
@@ -26,6 +26,12 @@ golden:
 differential:
 	cargo test -q --test differential
 
+# Monte-Carlo smoke: 3-cell grid x 10 replications, byte-diffed against
+# the committed golden (plus the engine's own determinism/convergence suite).
+mc:
+	cargo run -q --release -p corridor_bench --bin mc -- --smoke | diff - docs/results/mc_smoke.txt
+	cargo test -q -p corridor_sim --test mc
+
 doc:
 	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace
 
@@ -39,9 +45,14 @@ bench-build:
 bench-sweep:
 	cargo bench -q -p corridor_bench --bench sweep_parallel
 
+# Smoke-run the Monte-Carlo bench (prints cell-days/s and the speedup).
+bench-mc:
+	cargo bench -q -p corridor_bench --bench mc
+
 # Regenerate the committed reference outputs under docs/results/.
 results:
 	for b in headline table1 table2 table3 table4 fig3 fig4 isd_sweep; do \
 		cargo run -q --release -p corridor_bench --bin $$b > docs/results/$$b.txt || exit 1; \
 	done
 	cargo run -q --release -p corridor_bench --bin simulate -- --stats > docs/results/poisson_stats.txt
+	cargo run -q --release -p corridor_bench --bin mc -- --smoke > docs/results/mc_smoke.txt

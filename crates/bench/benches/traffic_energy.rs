@@ -37,7 +37,8 @@ fn bench_ablation_donor(c: &mut Criterion) {
     let params = ScenarioParams::paper_default();
     let table = IsdTable::paper();
     let full =
-        energy::savings_vs_conventional(&params, &table, 10, EnergyStrategy::SleepModeRepeaters);
+        energy::savings_vs_conventional(&params, &table, 10, EnergyStrategy::SleepModeRepeaters)
+            .unwrap();
     // a donor that only serves half the segment saves at most the donor
     // share; bound it by removing donors outright
     let no_donor = {

@@ -449,6 +449,57 @@ pub fn poisson_stats() -> String {
     out
 }
 
+/// Renders the Monte-Carlo smoke report (`mc --smoke` and the
+/// `mc_smoke` golden file): a 3-cell timetable-density grid × 10 Poisson
+/// replications, master seed 42, folded to per-cell statistics. Small
+/// enough for CI, but it exercises the whole replication pipeline —
+/// seed-splitting, the reused per-cell simulators, the Welford fold and
+/// the deterministic CSV writer.
+pub fn mc_smoke() -> String {
+    use corridor_sim::{McEngine, McMetric, ReplicationPlan, ScenarioGrid};
+
+    let grid = ScenarioGrid::smoke_3();
+    let plan = ReplicationPlan::new(10);
+    let report = McEngine::new()
+        .workers(1)
+        .run(&grid, &plan)
+        .expect("smoke grid is valid");
+
+    let mut out = String::from(
+        "Monte-Carlo smoke sweep — event-driven replications with CIs\n\n\
+         grid: 3 timetable densities (4/8/12 trains/h), paper 10-node segment\n\
+         plan: 10 Poisson replications per cell, master seed 42\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "cell".into(),
+        "trains/h".into(),
+        "passes".into(),
+        "sleep [Wh/h/km]".into(),
+        "saving [%]".into(),
+        "repeater [Wh/day]".into(),
+        "ci95 [Wh/day]".into(),
+    ]);
+    for r in report.results() {
+        let passes = r.stats(McMetric::Passes);
+        let sleep = r.stats(McMetric::SleepWhKm);
+        let saving = r.stats(McMetric::SavingSleepPct);
+        let repeater = r.stats(McMetric::RepeaterWhDay);
+        table.add_row(vec![
+            r.cell().index().to_string(),
+            format!("{}", r.cell().trains_per_hour()),
+            format!("{:.1}", passes.mean),
+            format!("{:.3}", sleep.mean),
+            format!("{:.2}", saving.mean),
+            format!("{:.3}", repeater.mean),
+            format!("{:.3}", repeater.ci95),
+        ]);
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(out, "csv:");
+    out.push_str(&report.to_csv());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,6 +523,21 @@ mod tests {
             .parse()
             .unwrap();
         assert!(pct.abs() < 1.0, "{line}");
+    }
+
+    #[test]
+    fn mc_smoke_is_deterministic_and_well_formed() {
+        let a = mc_smoke();
+        assert_eq!(a, mc_smoke());
+        assert!(a.contains("10 Poisson replications"));
+        // three data rows in the CSV tail (header + 3 cells)
+        let csv_lines = a
+            .lines()
+            .skip_while(|l| *l != "csv:")
+            .skip(1)
+            .filter(|l| !l.is_empty())
+            .count();
+        assert_eq!(csv_lines, 4);
     }
 
     #[test]

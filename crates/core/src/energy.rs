@@ -4,7 +4,7 @@ use corridor_deploy::{Corridor, IsdTable, SegmentInventory};
 use corridor_traffic::{ActivityTimeline, TrackSection};
 use corridor_units::{Meters, WattHours, Watts};
 
-use crate::{EnergyStrategy, ScenarioParams};
+use crate::{EnergyStrategy, ScenarioError, ScenarioParams};
 
 /// Average mains power per kilometre of corridor, split by equipment role.
 ///
@@ -35,8 +35,18 @@ impl SegmentEnergy {
     }
 
     /// Fractional savings of this deployment versus `baseline`.
+    ///
+    /// Convention: a baseline that draws no energy (a degenerate
+    /// scenario cell, e.g. a stochastic day that sampled zero trains)
+    /// admits no savings, so the method returns `0.0` instead of the
+    /// NaN/∞ a naive division would produce — large sweeps must never
+    /// silently poison their CSV/JSON output.
     pub fn savings_vs(&self, baseline: &SegmentEnergy) -> f64 {
-        1.0 - self.total() / baseline.total()
+        let base = baseline.total().value();
+        if base <= 0.0 || !base.is_finite() {
+            return 0.0;
+        }
+        1.0 - self.total().value() / base
     }
 }
 
@@ -160,6 +170,10 @@ pub fn line_average_power(
 
 /// Savings of a whole line versus building it conventionally (every
 /// segment at the conventional reference ISD).
+///
+/// Follows the [`SegmentEnergy::savings_vs`] convention: a line whose
+/// conventional baseline draws nothing (e.g. an empty corridor) admits
+/// no savings and yields `0.0`, never NaN/∞.
 pub fn line_savings_vs_conventional(
     params: &ScenarioParams,
     corridor: &Corridor,
@@ -167,6 +181,9 @@ pub fn line_savings_vs_conventional(
 ) -> f64 {
     let deployed = line_average_power(params, corridor, strategy);
     let baseline = conventional_baseline(params).total() * corridor.total_length().value();
+    if baseline.value() <= 0.0 || !baseline.value().is_finite() {
+        return 0.0;
+    }
     1.0 - deployed / baseline
 }
 
@@ -185,20 +202,23 @@ pub fn conventional_baseline(params: &ScenarioParams) -> SegmentEnergy {
 /// Savings of the `n`-node deployment (ISD from `table`) under `strategy`
 /// versus the conventional baseline, as a fraction in `[0, 1]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `table` has no entry for `n`.
+/// Returns [`ScenarioError::NoIsdForNodeCount`] if `table` has no entry
+/// for `n` — a recoverable condition for sweep engines expanding
+/// machine-generated grids, where a panic would kill the whole parallel
+/// run.
 pub fn savings_vs_conventional(
     params: &ScenarioParams,
     table: &IsdTable,
     n: usize,
     strategy: EnergyStrategy,
-) -> f64 {
+) -> Result<f64, ScenarioError> {
     let isd = table
         .isd_for(n)
-        .unwrap_or_else(|| panic!("no ISD for {n} nodes in table"));
+        .ok_or(ScenarioError::NoIsdForNodeCount(n))?;
     let deployment = average_power_per_km(params, n, isd, strategy);
-    deployment.savings_vs(&conventional_baseline(params))
+    Ok(deployment.savings_vs(&conventional_baseline(params)))
 }
 
 #[cfg(test)]
@@ -222,10 +242,12 @@ mod tests {
     fn paper_sleep_mode_savings() {
         let table = IsdTable::paper();
         // paper Section V-A: 57 % with one node, 74 % with ten
-        let one = savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SleepModeRepeaters);
+        let one = savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SleepModeRepeaters)
+            .unwrap();
         assert!((one - 0.57).abs() < 0.01, "one node: {one}");
         let ten =
-            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SleepModeRepeaters);
+            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SleepModeRepeaters)
+                .unwrap();
         assert!((ten - 0.74).abs() < 0.01, "ten nodes: {ten}");
     }
 
@@ -234,10 +256,12 @@ mod tests {
         let table = IsdTable::paper();
         // paper: 59 % with one node, 79 % with ten
         let one =
-            savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SolarPoweredRepeaters);
+            savings_vs_conventional(&params(), &table, 1, EnergyStrategy::SolarPoweredRepeaters)
+                .unwrap();
         assert!((one - 0.59).abs() < 0.01, "one node: {one}");
         let ten =
-            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SolarPoweredRepeaters);
+            savings_vs_conventional(&params(), &table, 10, EnergyStrategy::SolarPoweredRepeaters)
+                .unwrap();
         assert!((ten - 0.79).abs() < 0.01, "ten nodes: {ten}");
     }
 
@@ -246,9 +270,11 @@ mod tests {
         let table = IsdTable::paper();
         // paper: "at least three low-power repeater nodes ... below 50 %"
         let two =
-            savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters);
+            savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters)
+                .unwrap();
         let three =
-            savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters);
+            savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters)
+                .unwrap();
         assert!(two < 0.5, "two nodes: {two}");
         assert!(three > 0.5, "three nodes: {three}");
     }
@@ -282,7 +308,8 @@ mod tests {
                 &table,
                 n,
                 EnergyStrategy::SolarPoweredRepeaters,
-            );
+            )
+            .unwrap();
             assert!(s > last, "n={n}: {s} <= {last}");
             last = s;
         }
@@ -336,18 +363,53 @@ mod tests {
         }
         let line_savings =
             line_savings_vs_conventional(&p, &line, EnergyStrategy::SleepModeRepeaters);
-        let per_km = savings_vs_conventional(&p, &table, 8, EnergyStrategy::SleepModeRepeaters);
+        let per_km =
+            savings_vs_conventional(&p, &table, 8, EnergyStrategy::SleepModeRepeaters).unwrap();
         assert!((line_savings - per_km).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "no ISD for 11 nodes")]
-    fn missing_table_entry_panics() {
-        let _ = savings_vs_conventional(
+    fn empty_line_yields_zero_savings_not_nan() {
+        // same zero-baseline convention as SegmentEnergy::savings_vs: an
+        // empty corridor has a zero-length (zero-energy) baseline
+        let empty = Corridor::new();
+        let s = line_savings_vs_conventional(&params(), &empty, EnergyStrategy::SleepModeRepeaters);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn missing_table_entry_is_a_recoverable_error() {
+        // a missing ISD entry must not panic (it used to kill whole
+        // parallel sweeps); it surfaces as a typed ScenarioError instead
+        let err = savings_vs_conventional(
             &params(),
             &IsdTable::paper(),
             11,
             EnergyStrategy::SleepModeRepeaters,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, ScenarioError::NoIsdForNodeCount(11));
+        assert!(err.to_string().contains("11"));
+    }
+
+    #[test]
+    fn zero_baseline_yields_zero_savings_not_nan() {
+        // regression: a zero-energy baseline used to produce NaN (0/0)
+        // or -inf (x/0) that flowed silently into sweep CSV/JSON
+        let zero = SegmentEnergy {
+            hp: Watts::ZERO,
+            service: Watts::ZERO,
+            donor: Watts::ZERO,
+        };
+        let deployed = SegmentEnergy {
+            hp: Watts::new(100.0),
+            service: Watts::new(10.0),
+            donor: Watts::new(5.0),
+        };
+        assert_eq!(deployed.savings_vs(&zero), 0.0);
+        assert_eq!(zero.savings_vs(&zero), 0.0);
+        // the sane direction still works
+        assert!(deployed.savings_vs(&deployed).abs() < 1e-12);
+        assert!(zero.savings_vs(&deployed) > 0.99);
     }
 }

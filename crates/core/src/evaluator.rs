@@ -140,7 +140,8 @@ mod tests {
             &table,
             10,
             EnergyStrategy::SleepModeRepeaters,
-        );
+        )
+        .unwrap();
         assert_eq!(via_trait, direct);
     }
 

@@ -191,7 +191,10 @@ pub fn headline_numbers(params: &ScenarioParams) -> HeadlineNumbers {
         ActivityTimeline::for_section(&service_section, &params.timetable().passes());
     let duty = DutyCycle::over_day(service_activity.total_active_hours(), Hours::ZERO);
     let table = IsdTable::paper();
-    let savings = |n, strategy| energy::savings_vs_conventional(params, &table, n, strategy);
+    let savings = |n, strategy| {
+        energy::savings_vs_conventional(params, &table, n, strategy)
+            .expect("the paper ISD table covers 1-10 nodes")
+    };
 
     HeadlineNumbers {
         hp_duty_500m: duty_at(500.0),

@@ -16,7 +16,9 @@
 //!   500 m deployment;
 //! * [`experiments`] — one function per table/figure of the paper,
 //!   returning typed data (the `corridor-bench` binaries print them);
-//! * [`report`] — minimal fixed-width table rendering for those binaries.
+//! * [`report`] — minimal fixed-width table rendering for those binaries;
+//! * [`stats`] — streaming Welford statistics (mean/stddev/95 % CI) for
+//!   Monte-Carlo replication sweeps.
 //!
 //! # Examples
 //!
@@ -28,7 +30,7 @@
 //! let table = IsdTable::paper();
 //! // ten sleep-mode repeaters: the paper's 74 % saving
 //! let savings = energy::savings_vs_conventional(
-//!     &params, &table, 10, EnergyStrategy::SleepModeRepeaters);
+//!     &params, &table, 10, EnergyStrategy::SleepModeRepeaters).unwrap();
 //! assert!((savings - 0.74).abs() < 0.01);
 //! ```
 
@@ -40,6 +42,7 @@ mod evaluator;
 pub mod experiments;
 pub mod report;
 mod scenario;
+pub mod stats;
 mod strategy;
 
 pub use evaluator::{AnalyticEvaluator, SegmentEvaluator};
@@ -59,6 +62,7 @@ pub use corridor_units as units;
 pub mod prelude {
     pub use crate::energy::{self, SegmentEnergy};
     pub use crate::experiments;
+    pub use crate::stats::{SummaryStats, Welford};
     pub use crate::{
         AnalyticEvaluator, EnergyStrategy, ScenarioError, ScenarioParams, ScenarioParamsBuilder,
         SegmentEvaluator,

@@ -193,6 +193,9 @@ pub enum ScenarioError {
     /// A sweep engine was configured with an explicit worker count of
     /// zero (omit the setting for automatic machine parallelism).
     ZeroWorkers,
+    /// An ISD table has no entry for the requested repeater node count
+    /// (the paper's table covers 0–10 nodes).
+    NoIsdForNodeCount(usize),
 }
 
 impl fmt::Display for ScenarioError {
@@ -216,6 +219,9 @@ impl fmt::Display for ScenarioError {
                 "worker count must be strictly positive (omit the setting for \
                  automatic machine parallelism)",
             ),
+            ScenarioError::NoIsdForNodeCount(n) => {
+                write!(f, "ISD table has no entry for {n} repeater nodes")
+            }
         }
     }
 }
@@ -539,5 +545,8 @@ mod tests {
             .to_string()
             .contains("length"));
         assert!(ScenarioError::ZeroWorkers.to_string().contains("worker"));
+        assert!(ScenarioError::NoIsdForNodeCount(11)
+            .to_string()
+            .contains("11 repeater nodes"));
     }
 }

@@ -1,0 +1,261 @@
+//! Streaming statistics for Monte-Carlo replication sweeps.
+//!
+//! A [`Welford`] accumulator folds a stream of samples into count, mean,
+//! variance, min and max in one pass without storing the samples —
+//! numerically stable even for thousands of replications whose values
+//! differ only in the low digits (Welford's online algorithm). A finished
+//! accumulator summarizes into [`SummaryStats`], the per-cell record the
+//! Monte-Carlo report writers serialize.
+
+/// Welford's online mean/variance accumulator, plus running min/max.
+///
+/// Folding is deterministic: pushing the same samples in the same order
+/// always produces bit-identical statistics, which is what lets the
+/// Monte-Carlo report stay byte-identical across worker counts (workers
+/// evaluate days in parallel; the fold happens serially in seed order).
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::stats::Welford;
+///
+/// let mut acc = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 8);
+/// assert!((acc.mean() - 5.0).abs() < 1e-12);
+/// // sample (n-1) standard deviation
+/// assert!((acc.stddev() - 2.138089935299395).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples folded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (`0.0` while empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The unbiased sample variance (n−1 denominator; `0.0` for fewer
+    /// than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            // guard the tiny negative m2 that cancellation can leave
+            (self.m2 / (self.count - 1) as f64).max(0.0)
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean, via the
+    /// normal approximation `1.96 · s / √n` (`0.0` for fewer than two
+    /// samples).
+    ///
+    /// The normal quantile slightly understates the interval for very
+    /// small replication counts (a Student-t at n = 10 would use 2.26
+    /// instead of 1.96); Monte-Carlo sweeps run tens to hundreds of
+    /// replications, where the difference is negligible — see
+    /// `docs/backends.md` for when to trust a CI.
+    pub fn ci95(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen (`0.0` while empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen (`0.0` while empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Freezes the accumulator into a serializable summary.
+    pub fn summary(&self) -> SummaryStats {
+        SummaryStats {
+            n: self.count(),
+            mean: self.mean(),
+            stddev: self.stddev(),
+            ci95: self.ci95(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+impl Default for Welford {
+    /// Returns [`Welford::new`].
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
+/// The frozen statistics of one metric over a set of replications.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::stats::Welford;
+///
+/// let mut acc = Welford::new();
+/// (1..=100).for_each(|i| acc.push(i as f64));
+/// let s = acc.summary();
+/// assert_eq!(s.n, 100);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 100.0);
+/// // the CI half-width brackets the mean
+/// assert!(s.mean - s.ci95 < 50.5 && 50.5 < s.mean + s.ci95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of replications.
+    pub n: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// True if `value` lies inside the 95 % confidence interval
+    /// `[mean − ci95, mean + ci95]`.
+    pub fn ci_covers(&self, value: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_all_zero() {
+        let acc = Welford::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.ci95(), 0.0);
+        assert_eq!(acc.min(), 0.0);
+        assert_eq!(acc.max(), 0.0);
+        assert_eq!(Welford::default(), acc);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let mut acc = Welford::new();
+        acc.push(42.0);
+        assert_eq!(acc.mean(), 42.0);
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.ci95(), 0.0);
+        assert_eq!(acc.min(), 42.0);
+        assert_eq!(acc.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_formulas() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64 * 0.25).collect();
+        let mut acc = Welford::new();
+        samples.iter().for_each(|&x| acc.push(x));
+
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!((acc.mean() - mean).abs() < 1e-9);
+        assert!((acc.variance() - var).abs() < 1e-9);
+        assert_eq!(acc.min(), samples.iter().cloned().fold(f64::MAX, f64::min));
+        assert_eq!(acc.max(), samples.iter().cloned().fold(f64::MIN, f64::max));
+    }
+
+    #[test]
+    fn constant_stream_is_numerically_exact() {
+        // the textbook two-pass failure case: large offset, zero spread
+        let mut acc = Welford::new();
+        (0..10_000).for_each(|_| acc.push(1e9 + 0.5));
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.mean(), 1e9 + 0.5);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_count() {
+        // same underlying spread, 16x the samples -> 4x tighter CI
+        let wave = |i: u64| ((i % 7) as f64) - 3.0;
+        let mut small = Welford::new();
+        (0..70).for_each(|i| small.push(wave(i)));
+        let mut large = Welford::new();
+        (0..70 * 16).for_each(|i| large.push(wave(i)));
+        let ratio = small.ci95() / large.ci95();
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn summary_and_coverage() {
+        let mut acc = Welford::new();
+        [9.0, 10.0, 11.0].iter().for_each(|&x| acc.push(x));
+        let s = acc.summary();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 10.0);
+        assert!(s.ci_covers(10.0));
+        assert!(s.ci_covers(10.0 + s.ci95));
+        assert!(!s.ci_covers(10.0 + s.ci95 + 1e-9));
+    }
+}

@@ -20,7 +20,10 @@
 //!   [`SegmentEvaluator`](corridor_core::SegmentEvaluator), so sweep
 //!   engines can switch backends — and feed the simulator stochastic
 //!   days (Poisson, jittered, mixed services, double track) the closed
-//!   form cannot express.
+//!   form cannot express;
+//! * a [`SegmentReplicator`] that prepares one segment geometry once and
+//!   replays many seeded days through it — the entry point Monte-Carlo
+//!   replication sweeps use to amortize setup across seeds.
 //!
 //! With [`WakePolicy::instant`] the simulated energy split matches the
 //! analytic backend to float precision on every deterministic paper
@@ -52,6 +55,7 @@
 mod evaluator;
 mod node;
 mod queue;
+mod replicate;
 mod report;
 mod sim;
 mod trace;
@@ -60,6 +64,7 @@ mod wake;
 pub use evaluator::EventDrivenEvaluator;
 pub use node::{segment_nodes, NodeKind, NodeSpec};
 pub use queue::{Event, EventKind, EventQueue};
+pub use replicate::SegmentReplicator;
 pub use report::{NodeReport, SimReport};
 pub use sim::CorridorSimulator;
 pub use trace::StateTrace;

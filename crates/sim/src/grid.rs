@@ -132,6 +132,12 @@ impl ScenarioGrid {
         }
     }
 
+    /// The 3-cell smoke grid (timetable densities 4/8/12 trains per
+    /// hour) used by `mc --smoke` and the committed `mc_smoke` golden.
+    pub fn smoke_3() -> Self {
+        ScenarioGrid::new().trains_per_hour(vec![4.0, 8.0, 12.0])
+    }
+
     /// The 200-cell screening grid used by the `sweep` binary and the
     /// serial-vs-parallel bench: 5 conventional ISDs × 5 timetable
     /// densities × 4 train speeds × 2 climates.

@@ -22,6 +22,13 @@
 //! renderings are byte-identical no matter how many workers produced
 //! them.
 //!
+//! On top of the deterministic sweep sits the Monte-Carlo layer: a
+//! [`ReplicationPlan`] replicates every grid cell over seeded stochastic
+//! days (Poisson, jittered — see [`TrafficSpec`]), the [`McEngine`]
+//! evaluates the `(cell × replication)` work items on the same worker
+//! pool through the event-driven backend, and a [`McReport`] carries
+//! per-cell mean/stddev/95 % CI/min/max for each tracked [`McMetric`].
+//!
 //! # Examples
 //!
 //! ```
@@ -46,11 +53,15 @@
 mod cell;
 mod engine;
 mod grid;
+mod mc;
 mod report;
 
 pub use cell::{CellResult, PvOutcome, ScenarioCell};
 pub use engine::{Evaluator, SweepEngine};
 pub use grid::{PowerProfile, ScenarioGrid};
+pub use mc::{
+    McCellResult, McEngine, McMetric, McReport, ReplicationPlan, TrafficSpec, MC_CSV_HEADER,
+};
 pub use report::{SweepReport, CSV_HEADER};
 
 pub use corridor_events::WakePolicy;

@@ -219,7 +219,7 @@ impl SweepReport {
 /// Quotes a CSV field when it contains a delimiter, quote or newline
 /// (RFC 4180): names like `PowerProfile::custom("2x2,mimo", …)` must not
 /// shift the column layout.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
@@ -228,7 +228,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// Quotes a string for JSON (the report only emits short ASCII names).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for ch in s.chars() {

@@ -13,6 +13,9 @@
 //! * [`TrafficModel`] and friends ([`DelayModel`], [`MixedTimetable`],
 //!   [`DoubleTrack`]) — seeded stochastic and irregular traffic sources
 //!   for the event-driven corridor simulator;
+//! * [`SeedSequence`] — SplitMix64 seed-splitting that gives every
+//!   `(cell, replication)` work item of a Monte-Carlo sweep its own
+//!   decorrelated RNG stream;
 //! * [`TrackSection`] — a coverage section with entry/exit occupancy
 //!   computation;
 //! * [`ActivityTimeline`] — merged busy intervals for a node over a day,
@@ -39,6 +42,7 @@
 mod activity;
 mod schedule;
 mod section;
+mod seed;
 mod stochastic;
 mod train;
 mod wake;
@@ -46,6 +50,7 @@ mod wake;
 pub use activity::ActivityTimeline;
 pub use schedule::{PoissonTimetable, Timetable};
 pub use section::TrackSection;
+pub use seed::SeedSequence;
 pub use stochastic::{DelayModel, DoubleTrack, MixedTimetable, TrafficModel};
 pub use train::{Train, TrainPass};
 pub use wake::WakeController;

@@ -38,7 +38,8 @@ fn main() {
         baseline.total().value()
     );
     for strategy in EnergyStrategy::ALL {
-        let savings = energy::savings_vs_conventional(&params, &IsdTable::paper(), 10, strategy);
+        let savings = energy::savings_vs_conventional(&params, &IsdTable::paper(), 10, strategy)
+            .expect("the paper ISD table covers 10 nodes");
         println!(
             "  10 repeaters, {strategy}: {:.0} % savings",
             savings * 100.0

@@ -51,7 +51,8 @@ fn main() {
             &IsdTable::paper(),
             10,
             EnergyStrategy::SleepModeRepeaters,
-        );
+        )
+        .expect("the paper ISD table covers 10 nodes");
         println!(
             "  {trains_per_hour:>5.0} trains/h: {:.1} % savings",
             savings * 100.0

@@ -39,7 +39,7 @@
 //! // And how much energy does that save over masts every 500 m?
 //! let params = ScenarioParams::paper_default();
 //! let savings = energy::savings_vs_conventional(
-//!     &params, &IsdTable::paper(), 8, EnergyStrategy::SleepModeRepeaters);
+//!     &params, &IsdTable::paper(), 8, EnergyStrategy::SleepModeRepeaters).unwrap();
 //! assert!(savings > 0.70);
 //! ```
 

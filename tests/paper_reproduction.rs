@@ -68,9 +68,11 @@ fn headline_savings_window() {
 fn continuous_crossover_at_three_nodes() {
     let table = IsdTable::paper();
     let s2 =
-        energy::savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters);
+        energy::savings_vs_conventional(&params(), &table, 2, EnergyStrategy::ContinuousRepeaters)
+            .unwrap();
     let s3 =
-        energy::savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters);
+        energy::savings_vs_conventional(&params(), &table, 3, EnergyStrategy::ContinuousRepeaters)
+            .unwrap();
     assert!(s2 < 0.50 && s3 >= 0.50, "s2 = {s2}, s3 = {s3}");
 }
 
