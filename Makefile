@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc doc quickstart bench-build bench-sweep bench-mc results
+.PHONY: ci fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize results
 
-ci: fmt-check clippy build test golden differential mc doc quickstart bench-build bench-sweep bench-mc
+ci: fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
 fmt-check:
 	cargo fmt --all --check
@@ -32,6 +32,13 @@ mc:
 	cargo run -q --release -p corridor_bench --bin mc -- --smoke | diff - docs/results/mc_smoke.txt
 	cargo test -q -p corridor_sim --test mc
 
+# Deployment-optimizer smoke: 3-cell grid through the cached model-grid
+# search, byte-diffed against the committed golden (plus the optimizer's
+# own edge-case/determinism/sha256 suite).
+optimize:
+	cargo run -q --release -p corridor_bench --bin optimize -- --smoke | diff - docs/results/optimize_smoke.txt
+	cargo test -q -p corridor_sim --test optimize
+
 doc:
 	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace
 
@@ -49,6 +56,11 @@ bench-sweep:
 bench-mc:
 	cargo bench -q -p corridor_bench --bench mc
 
+# Smoke-run the optimizer bench (prints configs/s and the cache hit rate,
+# and asserts the >= 2x profile saving over the naive per-step sweep).
+bench-optimize:
+	cargo bench -q -p corridor_bench --bench optimize
+
 # Regenerate the committed reference outputs under docs/results/.
 results:
 	for b in headline table1 table2 table3 table4 fig3 fig4 isd_sweep; do \
@@ -56,3 +68,4 @@ results:
 	done
 	cargo run -q --release -p corridor_bench --bin simulate -- --stats > docs/results/poisson_stats.txt
 	cargo run -q --release -p corridor_bench --bin mc -- --smoke > docs/results/mc_smoke.txt
+	cargo run -q --release -p corridor_bench --bin optimize -- --smoke > docs/results/optimize_smoke.txt

@@ -500,6 +500,75 @@ pub fn mc_smoke() -> String {
     out
 }
 
+/// Renders the deployment-optimizer smoke search (the committed
+/// `optimize_smoke` golden file): the 3-cell timetable-density grid
+/// searched against the model grid (counts 0–10, 50 m ISD steps,
+/// instant wake policy), reduced to per-cell Pareto frontiers. Small
+/// enough for CI, but it exercises the whole optimizer pipeline — the
+/// shared coverage cache, the cached max-ISD binary search, the
+/// analytic energy backend and the deterministic writers — and pins the
+/// cache counters (deterministic across worker counts by design).
+pub fn optimize_smoke() -> String {
+    use corridor_core::units::Meters;
+    use corridor_sim::{DeploymentOptimizer, IsdSearch, ScenarioGrid, SearchSpace};
+
+    let space = SearchSpace::new()
+        .sample_step(Meters::new(10.0))
+        .isd_search(IsdSearch::model_paper_grid());
+    let report = DeploymentOptimizer::new()
+        .workers(1)
+        .run(&ScenarioGrid::smoke_3(), &space)
+        .expect("smoke grid is valid");
+
+    let mut out = String::from(
+        "Deployment optimizer smoke search — Pareto frontier per cell\n\n\
+         grid: 3 timetable densities (4/8/12 trains/h), paper link budget\n\
+         space: 0-10 repeater nodes, model-grid max ISD (50 m steps), instant wake\n\
+         objectives: energy/day/km (min), nodes/km (min), coverage margin (max)\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "cell".into(),
+        "trains/h".into(),
+        "nodes".into(),
+        "ISD [m]".into(),
+        "energy [Wh/day/km]".into(),
+        "nodes/km".into(),
+        "margin [dB]".into(),
+        "saving [%]".into(),
+    ]);
+    for r in report.results() {
+        for p in r.frontier() {
+            table.add_row(vec![
+                r.cell().index().to_string(),
+                format!("{}", r.cell().trains_per_hour()),
+                p.nodes.to_string(),
+                format!("{:.0}", p.isd.value()),
+                format!("{:.1}", p.energy_wh_day_km),
+                format!("{:.3}", p.nodes_per_km),
+                format!("{:.3}", p.margin_db),
+                format!("{:.2}", p.saving_sleep_pct),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "candidates: {} evaluated, {} on the frontiers",
+        report.candidates_evaluated(),
+        report.frontier_points()
+    );
+    let _ = writeln!(
+        out,
+        "coverage cache: {} lookups, {} profiles sampled ({:.0} % hit rate)",
+        report.coverage_lookups(),
+        report.profile_evaluations(),
+        report.cache_hit_rate() * 100.0
+    );
+    let _ = writeln!(out, "csv:");
+    out.push_str(&report.to_csv());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +592,23 @@ mod tests {
             .parse()
             .unwrap();
         assert!(pct.abs() < 1.0, "{line}");
+    }
+
+    #[test]
+    fn optimize_smoke_is_deterministic_and_well_formed() {
+        let a = optimize_smoke();
+        assert_eq!(a, optimize_smoke());
+        assert!(a.contains("model-grid"));
+        assert!(a.contains("hit rate"));
+        // three cells x eleven solvable counts land on the frontiers
+        assert!(a.contains("33 on the frontiers"), "{a}");
+        let csv_lines = a
+            .lines()
+            .skip_while(|l| *l != "csv:")
+            .skip(1)
+            .filter(|l| !l.is_empty())
+            .count();
+        assert_eq!(csv_lines, 34); // header + 33 frontier rows
     }
 
     #[test]

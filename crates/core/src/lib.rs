@@ -17,8 +17,10 @@
 //! * [`experiments`] — one function per table/figure of the paper,
 //!   returning typed data (the `corridor-bench` binaries print them);
 //! * [`report`] — minimal fixed-width table rendering for those binaries;
-//! * [`stats`] — streaming Welford statistics (mean/stddev/95 % CI) for
-//!   Monte-Carlo replication sweeps.
+//! * [`stats`] — streaming Welford statistics (mean/stddev/Student-t
+//!   95 % CI) for Monte-Carlo replication sweeps;
+//! * [`pareto`] — multi-objective dominance helpers for the deployment
+//!   optimizer's frontier search.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@
 pub mod energy;
 mod evaluator;
 pub mod experiments;
+pub mod pareto;
 pub mod report;
 mod scenario;
 pub mod stats;

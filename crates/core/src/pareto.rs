@@ -1,0 +1,144 @@
+//! Pareto-dominance helpers for multi-objective deployment searches.
+//!
+//! The deployment optimizer (`corridor_sim::optimize`) scores every
+//! candidate configuration on several objectives at once (energy per
+//! day, nodes per km, coverage margin) and keeps the non-dominated set.
+//! This module holds the objective-space math, free of any deployment
+//! vocabulary, so other searches can reuse it.
+//!
+//! All objectives are **minimized**; flip the sign of anything to be
+//! maximized before building the objective vector. Points carrying a
+//! non-finite objective (NaN/∞ from degenerate scenario cells) cannot
+//! be ordered meaningfully and are excluded from every frontier — the
+//! same "never silently poison the output" convention as
+//! [`SegmentEnergy::savings_vs`](crate::energy::SegmentEnergy::savings_vs).
+
+/// True if `a` Pareto-dominates `b`: no objective worse, at least one
+/// strictly better (all objectives minimized).
+///
+/// Non-finite objectives make a point incomparable: it neither
+/// dominates nor is dominated (the frontier builder drops such points
+/// up front).
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::pareto::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[3.0, 1.0])); // a trade-off
+/// assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: no strict edge
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective vectors must align");
+    if !finite(a) || !finite(b) {
+        return false;
+    }
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// True if every objective of `point` is finite.
+pub fn finite(point: &[f64]) -> bool {
+    point.iter().all(|x| x.is_finite())
+}
+
+/// Indices of the non-dominated points, in input order.
+///
+/// Duplicated points do not dominate each other, so every copy stays on
+/// the frontier (input order keeps the result deterministic). Points
+/// with a non-finite objective are excluded outright.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::pareto::frontier_indices;
+///
+/// let points = vec![
+///     vec![1.0, 4.0], // frontier
+///     vec![2.0, 2.0], // frontier
+///     vec![3.0, 3.0], // dominated by [2, 2]
+///     vec![4.0, 1.0], // frontier
+/// ];
+/// assert_eq!(frontier_indices(&points), vec![0, 1, 3]);
+/// ```
+pub fn frontier_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| finite(p))
+        .filter(|(i, p)| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != *i && dominates(q, p))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(frontier_indices(&[vec![1.0, 2.0, 3.0]]), vec![0]);
+        assert!(frontier_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let points = vec![
+            vec![1.0, 1.0], // dominates everything below
+            vec![2.0, 1.0],
+            vec![1.0, 2.0],
+            vec![5.0, 5.0],
+        ];
+        assert_eq!(frontier_indices(&points), vec![0]);
+    }
+
+    #[test]
+    fn trade_off_chain_survives_whole() {
+        let points: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, (4 - i) as f64]).collect();
+        assert_eq!(frontier_indices(&points), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicates_both_stay() {
+        let points = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        assert_eq!(frontier_indices(&points), vec![0, 1]);
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded_not_panicking() {
+        let points = vec![
+            vec![f64::NAN, 0.0],
+            vec![1.0, 1.0],
+            vec![f64::INFINITY, -1.0],
+            vec![f64::NEG_INFINITY, 5.0], // -inf would "dominate" naively
+        ];
+        assert_eq!(frontier_indices(&points), vec![1]);
+        // and a NaN never shields a point from domination checks
+        assert!(!dominates(&[f64::NAN, 0.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 0.0], &[f64::NAN, 1.0]));
+    }
+
+    #[test]
+    fn three_objectives() {
+        let points = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 2.0], // dominates the first
+            vec![2.0, 1.0, 3.0], // trade-off
+        ];
+        assert_eq!(frontier_indices(&points), vec![1, 2]);
+    }
+}

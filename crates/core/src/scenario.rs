@@ -196,6 +196,11 @@ pub enum ScenarioError {
     /// An ISD table has no entry for the requested repeater node count
     /// (the paper's table covers 0–10 nodes).
     NoIsdForNodeCount(usize),
+    /// The worker thread pool could not be built. The offline `rayon`
+    /// shim never fails here, but the real crate can (resource
+    /// exhaustion), and engines must surface that instead of panicking
+    /// mid-sweep.
+    WorkerPoolBuild,
 }
 
 impl fmt::Display for ScenarioError {
@@ -222,6 +227,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::NoIsdForNodeCount(n) => {
                 write!(f, "ISD table has no entry for {n} repeater nodes")
             }
+            ScenarioError::WorkerPoolBuild => f.write_str("worker thread pool could not be built"),
         }
     }
 }
@@ -548,5 +554,6 @@ mod tests {
         assert!(ScenarioError::NoIsdForNodeCount(11)
             .to_string()
             .contains("11 repeater nodes"));
+        assert!(ScenarioError::WorkerPoolBuild.to_string().contains("pool"));
     }
 }

@@ -89,20 +89,20 @@ impl Welford {
         self.variance().sqrt()
     }
 
-    /// Half-width of the 95 % confidence interval on the mean, via the
-    /// normal approximation `1.96 · s / √n` (`0.0` for fewer than two
-    /// samples).
+    /// Half-width of the 95 % confidence interval on the mean,
+    /// `t · s / √n` with the Student-t critical value for `n − 1`
+    /// degrees of freedom (`0.0` for fewer than two samples).
     ///
-    /// The normal quantile slightly understates the interval for very
-    /// small replication counts (a Student-t at n = 10 would use 2.26
-    /// instead of 1.96); Monte-Carlo sweeps run tens to hundreds of
-    /// replications, where the difference is negligible — see
-    /// `docs/backends.md` for when to trust a CI.
+    /// The fixed normal quantile 1.96 this method used to apply
+    /// understates the interval for small replication counts (at n = 10
+    /// the factor is 2.262, a 15 % wider interval); [`t_critical95`]
+    /// looks the proper factor up and converges to 1.96 for large n —
+    /// see `docs/backends.md` for when to trust a CI.
     pub fn ci95(&self) -> f64 {
         if self.count < 2 {
             0.0
         } else {
-            1.96 * self.stddev() / (self.count as f64).sqrt()
+            t_critical95(self.count - 1) * self.stddev() / (self.count as f64).sqrt()
         }
     }
 
@@ -141,6 +141,44 @@ impl Default for Welford {
     /// Returns [`Welford::new`].
     fn default() -> Self {
         Welford::new()
+    }
+}
+
+/// Two-sided 95 % Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table values for df ≤ 30, then the standard 40/60/120 rows
+/// applied as a step function that always uses the *largest tabulated
+/// df at or below* the actual one — i.e. the returned factor is never
+/// below the true quantile in the tabulated range. Beyond df = 1000 the
+/// normal 1.96 applies (the true quantile there is 1.962, a 0.1 %
+/// difference). `df = 0` (a single sample) supports no interval at all
+/// and returns 0.0.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_core::stats::t_critical95;
+///
+/// assert_eq!(t_critical95(9), 2.262);    // n = 10 replications
+/// assert_eq!(t_critical95(1), 12.706);   // n = 2: enormous interval
+/// assert_eq!(t_critical95(500), 1.98);   // 120-row bracket
+/// assert_eq!(t_critical95(5000), 1.96);  // large n: normal quantile
+/// ```
+pub fn t_critical95(df: u64) -> f64 {
+    // standard two-sided 0.05 table (df 1..=30)
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => 0.0,
+        1..=30 => TABLE[df as usize - 1],
+        31..=39 => 2.042,
+        40..=59 => 2.021,
+        60..=119 => 2.000,
+        120..=1000 => 1.98,
+        _ => 1.96,
     }
 }
 
@@ -238,13 +276,39 @@ mod tests {
     #[test]
     fn ci_shrinks_with_sample_count() {
         // same underlying spread, 16x the samples -> 4x tighter CI
+        // (modulated by the Student-t factors of the two sample sizes)
         let wave = |i: u64| ((i % 7) as f64) - 3.0;
         let mut small = Welford::new();
         (0..70).for_each(|i| small.push(wave(i)));
         let mut large = Welford::new();
         (0..70 * 16).for_each(|i| large.push(wave(i)));
         let ratio = small.ci95() / large.ci95();
-        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+        let expected = 4.0 * t_critical95(69) / t_critical95(70 * 16 - 1);
+        assert!((ratio - expected).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_replication_counts_use_student_t() {
+        // n = 10 samples of unit stddev: the half-width must carry the
+        // t factor 2.262, not the normal 1.96 the old code applied
+        let mut acc = Welford::new();
+        (0..10).for_each(|i| acc.push(if i % 2 == 0 { 1.0 } else { -1.0 }));
+        let expected = 2.262 * acc.stddev() / 10f64.sqrt();
+        assert!((acc.ci95() - expected).abs() < 1e-12);
+        assert!(acc.ci95() > 1.96 * acc.stddev() / 10f64.sqrt());
+    }
+
+    #[test]
+    fn t_table_is_monotone_and_converges_to_normal() {
+        let mut last = f64::INFINITY;
+        for df in 1..=2000 {
+            let t = t_critical95(df);
+            assert!(t <= last, "df={df}: {t} > {last}");
+            assert!(t >= 1.96, "df={df}: {t} below the normal quantile");
+            last = t;
+        }
+        assert_eq!(t_critical95(0), 0.0);
+        assert_eq!(t_critical95(2000), 1.96);
     }
 
     #[test]

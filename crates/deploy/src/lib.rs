@@ -16,6 +16,9 @@
 //! * [`IsdOptimizer`] — the 50 m-step sweep producing an [`IsdTable`]
 //!   (maximum ISD per repeater count), with [`IsdTable::paper`] carrying
 //!   the published sequence;
+//! * [`CoverageCache`] — memoized minimum-SNR profiling with
+//!   lookup/evaluation counters, so layered searches (per scenario cell,
+//!   per wake policy) sample each `(layout, budget)` pair exactly once;
 //! * [`SegmentInventory`] — node counts (service + donor repeaters, masts)
 //!   per segment and per kilometre.
 //!
@@ -40,15 +43,18 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod cache;
 mod corridor;
 mod criteria;
 mod inventory;
 mod layout;
 mod placement;
+mod search;
 mod sweep;
 mod table;
 
 pub use budget::LinkBudget;
+pub use cache::CoverageCache;
 pub use corridor::Corridor;
 pub use criteria::CoverageCriterion;
 pub use inventory::SegmentInventory;

@@ -118,64 +118,103 @@ impl IsdOptimizer {
         self.criterion
     }
 
-    fn grid(&self, i: u64) -> Meters {
-        self.min_isd + self.isd_step * i as f64
-    }
-
-    fn grid_len(&self) -> u64 {
-        ((self.max_isd - self.min_isd) / self.isd_step).floor() as u64
-    }
-
     /// True if a segment of `isd` with `n` repeaters satisfies the
     /// criterion (placement failures count as unsatisfied).
     pub fn satisfies(&self, n: usize, isd: Meters) -> bool {
+        self.probe(n, isd) == crate::search::Probe::Satisfied
+    }
+
+    /// One uncached grid-point probe, in the shared skeleton's
+    /// vocabulary.
+    fn probe(&self, n: usize, isd: Meters) -> crate::search::Probe {
         let Ok(layout) = CorridorLayout::with_policy(isd, n, &self.placement) else {
-            return false;
+            return crate::search::Probe::PlacementInfeasible;
         };
         let profile = layout.coverage_profile(&self.budget, self.sample_step);
-        self.criterion
+        if self
+            .criterion
             .is_satisfied(&profile, self.budget.throughput())
+        {
+            crate::search::Probe::Satisfied
+        } else {
+            crate::search::Probe::CriterionFailed
+        }
     }
 
     /// The largest grid ISD for which `n` repeaters satisfy the criterion,
     /// or `None` if even the smallest feasible ISD fails.
+    ///
+    /// Every probe samples a fresh coverage profile; layered searches
+    /// should prefer [`IsdOptimizer::max_isd_cached`].
     pub fn max_isd(&self, n: usize) -> Option<Meters> {
-        // find the first grid point where placement succeeds and the
-        // criterion holds
-        let mut lo = None;
-        for i in 0..=self.grid_len() {
-            if self.satisfies(n, self.grid(i)) {
-                lo = Some(i);
-                break;
-            }
-            // placement infeasible (cluster too wide) keeps failing only
-            // below the span; once feasible, a failing criterion means all
-            // larger ISDs fail too
-            if CorridorLayout::with_policy(self.grid(i), n, &self.placement).is_ok() {
-                return None;
-            }
+        crate::search::max_feasible_on_grid(self.min_isd, self.max_isd, self.isd_step, |isd| {
+            self.probe(n, isd)
+        })
+    }
+
+    /// [`IsdOptimizer::max_isd`] through a shared [`CoverageCache`](crate::CoverageCache): the
+    /// min-SNR criteria ([`CoverageCriterion::MinSnr`],
+    /// [`CoverageCriterion::PeakEverywhere`]) probe the memoized minimum
+    /// SNR instead of re-sampling a profile per step — the hot path of
+    /// repeated sweeps. Spectral-efficiency criteria need the full
+    /// profile and fall back to the uncached search.
+    ///
+    /// Cached probes sample at the *cache's* step
+    /// ([`CoverageCache::sample_step`](crate::CoverageCache::sample_step)), not this optimizer's — build
+    /// the cache with the step you want pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was built under a different [`LinkBudget`] than
+    /// this optimizer (its memoized answers would be for the wrong RF
+    /// configuration).
+    pub fn max_isd_cached(&self, cache: &crate::CoverageCache, n: usize) -> Option<Meters> {
+        assert!(
+            cache.budget() == &self.budget,
+            "coverage cache built under a different link budget"
+        );
+        match self.criterion {
+            CoverageCriterion::MinSnr(threshold) => cache.max_feasible_isd(
+                n,
+                &self.placement,
+                threshold,
+                self.min_isd,
+                self.max_isd,
+                self.isd_step,
+            ),
+            CoverageCriterion::PeakEverywhere => cache.max_isd_by(
+                n,
+                &self.placement,
+                self.min_isd,
+                self.max_isd,
+                self.isd_step,
+                |snr| self.budget.throughput().is_peak(snr),
+            ),
+            CoverageCriterion::MeanSpectralEfficiency(_)
+            | CoverageCriterion::TrainWindowed { .. } => self.max_isd(n),
         }
-        let mut lo = lo?;
-        let mut hi = self.grid_len();
-        if self.satisfies(n, self.grid(hi)) {
-            return Some(self.grid(hi));
-        }
-        // invariant: grid(lo) satisfies, grid(hi) does not
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            if self.satisfies(n, self.grid(mid)) {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        Some(self.grid(lo))
     }
 
     /// Sweeps `n = 0..=max_nodes` and collects the results in an
     /// [`IsdTable`].
     pub fn sweep(&self, max_nodes: usize) -> IsdTable {
         IsdTable::from_max_isds((0..=max_nodes).map(|n| self.max_isd(n)).collect())
+    }
+
+    /// [`IsdOptimizer::sweep`] through a shared [`CoverageCache`](crate::CoverageCache): a
+    /// repeated sweep (another criterion threshold, another caller) hits
+    /// the cache instead of re-sampling every profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was built under a different [`LinkBudget`]
+    /// (see [`IsdOptimizer::max_isd_cached`]).
+    pub fn sweep_cached(&self, cache: &crate::CoverageCache, max_nodes: usize) -> IsdTable {
+        IsdTable::from_max_isds(
+            (0..=max_nodes)
+                .map(|n| self.max_isd_cached(cache, n))
+                .collect(),
+        )
     }
 }
 
@@ -247,6 +286,37 @@ mod tests {
         let opt = optimizer().with_search_range(Meters::new(100.0), Meters::new(800.0));
         // n=1 could reach 1250 m but the range caps it
         assert_eq!(opt.max_isd(1), Some(Meters::new(800.0)));
+    }
+
+    #[test]
+    fn cached_search_matches_uncached() {
+        let opt = optimizer();
+        let cache =
+            crate::CoverageCache::with_sample_step(LinkBudget::paper_default(), Meters::new(10.0));
+        for n in 0..=3 {
+            assert_eq!(opt.max_isd_cached(&cache, n), opt.max_isd(n), "n={n}");
+        }
+        assert_eq!(opt.sweep_cached(&cache, 3), opt.sweep(3));
+        // a repeated cached sweep pays zero new profile samples
+        let profiles = cache.profile_evaluations();
+        let _ = opt.sweep_cached(&cache, 3);
+        assert_eq!(cache.profile_evaluations(), profiles);
+        // PeakEverywhere routes through the cache too
+        let peak = optimizer().with_criterion(CoverageCriterion::PeakEverywhere);
+        assert_eq!(peak.max_isd_cached(&cache, 1), peak.max_isd(1));
+        // spectral-efficiency criteria fall back to the uncached path
+        let se = optimizer().with_criterion(CoverageCriterion::MeanSpectralEfficiency(5.8));
+        assert_eq!(se.max_isd_cached(&cache, 1), se.max_isd(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different link budget")]
+    fn cached_search_rejects_foreign_budget() {
+        use corridor_units::Dbm;
+        let opt = optimizer();
+        let foreign = LinkBudget::paper_default().with_hp_eirp(Dbm::new(10.0));
+        let cache = crate::CoverageCache::new(foreign);
+        let _ = opt.max_isd_cached(&cache, 1);
     }
 
     #[test]

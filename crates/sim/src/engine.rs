@@ -178,17 +178,16 @@ impl SweepEngine {
     /// # Errors
     ///
     /// Returns [`ScenarioError::ZeroWorkers`] if an explicit worker
-    /// count of zero was configured, or the [`ScenarioError`] of the
-    /// first cell whose parameters fail validation.
+    /// count of zero was configured,
+    /// [`ScenarioError::WorkerPoolBuild`] if the pool cannot be built,
+    /// or the [`ScenarioError`] of the first cell whose parameters fail
+    /// validation.
     pub fn run(&self, grid: &ScenarioGrid) -> Result<SweepReport, ScenarioError> {
         if self.workers == Some(0) {
             return Err(ScenarioError::ZeroWorkers);
         }
         let cells = grid.expand()?;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.workers.unwrap_or(0))
-            .build()
-            .expect("shim pool build is infallible");
+        let pool = build_pool(self.workers)?;
         let results: Vec<CellResult> =
             pool.install(|| cells.par_iter().map(|cell| self.evaluate(cell)).collect());
         Ok(SweepReport::new(results))
@@ -232,41 +231,76 @@ impl SweepEngine {
         )
     }
 
-    /// Sizes the off-grid PV system of one service repeater in this cell:
-    /// the node sleeps through the night pause and serves train bursts
-    /// during the service window (the paper's Table IV methodology,
-    /// generalized to the cell's timetable and equipment).
+    /// Sizes the off-grid PV system of one service repeater in this cell
+    /// at the cell's deployment ISD.
     fn size_pv(&self, cell: &ScenarioCell) -> PvOutcome {
-        let params = cell.params();
-        let lp = params.lp_node();
-        let section = TrackSection::around(cell.isd() / 2.0, params.lp_spacing());
-        let active_h = ActivityTimeline::for_section(&section, &params.timetable().passes())
-            .total_active_hours()
-            .value();
-        let night_h = (24.0 - params.timetable().service_window().value())
-            .round()
-            .clamp(0.0, 23.0);
-        let day_window_h = 24.0 - night_h;
-        let day_avg_w = (lp.full_load_power().value() * active_h
-            + lp.p_sleep().value() * (day_window_h - active_h).max(0.0))
-            / day_window_h;
-        let load = DailyLoadProfile::repeater_profile(
-            lp.p_sleep(),
-            Watts::new(day_avg_w),
-            night_h as usize,
-        );
-        match sizing::size_for_zero_downtime(
-            cell.location().clone(),
-            load,
-            &sizing::SizingOptions::paper_default(),
-        ) {
-            Some(fit) => PvOutcome::Sized {
-                pv_wp: fit.pv.peak().value(),
-                battery_wh: fit.battery_capacity.value(),
-                days_full_pct: fit.mean_full_battery_fraction() * 100.0,
-            },
-            None => PvOutcome::Unsolvable,
-        }
+        size_repeater_pv(cell.params(), cell.location(), cell.isd())
+    }
+}
+
+/// Builds the worker pool for an explicit worker count (`None` = auto).
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::WorkerPoolBuild`] if the pool cannot be
+/// built (never with the offline shim, but real `rayon` can fail on
+/// resource exhaustion — a sweep must surface that, not panic).
+pub(crate) fn build_pool(workers: Option<usize>) -> Result<rayon::ThreadPool, ScenarioError> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(workers.unwrap_or(0))
+        .build()
+        .map_err(|_| ScenarioError::WorkerPoolBuild)
+}
+
+/// Sizes the off-grid PV system of one service repeater at `isd`: the
+/// node sleeps through the night pause and serves train bursts during
+/// the service window (the paper's Table IV methodology, generalized to
+/// the given timetable, equipment and deployment geometry). Shared by
+/// the sweep engine (at the cell's fixed ISD) and the deployment
+/// optimizer (at each candidate ISD).
+pub(crate) fn size_repeater_pv(
+    params: &corridor_core::ScenarioParams,
+    location: &corridor_solar::Location,
+    isd: corridor_units::Meters,
+) -> PvOutcome {
+    let section = TrackSection::around(isd / 2.0, params.lp_spacing());
+    let active_h = ActivityTimeline::for_section(&section, &params.timetable().passes())
+        .total_active_hours()
+        .value();
+    size_repeater_pv_for_load(params, location, active_h)
+}
+
+/// [`size_repeater_pv`] with explicit daily full-load hours — the
+/// deployment optimizer feeds the *policy-padded* powered time from the
+/// event-driven trace here, so a padded wake policy's PV system is
+/// sized for the load it actually reports, not the instant-wake
+/// activity floor.
+pub(crate) fn size_repeater_pv_for_load(
+    params: &corridor_core::ScenarioParams,
+    location: &corridor_solar::Location,
+    active_h: f64,
+) -> PvOutcome {
+    let lp = params.lp_node();
+    let night_h = (24.0 - params.timetable().service_window().value())
+        .round()
+        .clamp(0.0, 23.0);
+    let day_window_h = 24.0 - night_h;
+    let day_avg_w = (lp.full_load_power().value() * active_h
+        + lp.p_sleep().value() * (day_window_h - active_h).max(0.0))
+        / day_window_h;
+    let load =
+        DailyLoadProfile::repeater_profile(lp.p_sleep(), Watts::new(day_avg_w), night_h as usize);
+    match sizing::size_for_zero_downtime(
+        location.clone(),
+        load,
+        &sizing::SizingOptions::paper_default(),
+    ) {
+        Some(fit) => PvOutcome::Sized {
+            pv_wp: fit.pv.peak().value(),
+            battery_wh: fit.battery_capacity.value(),
+            days_full_pct: fit.mean_full_battery_fraction() * 100.0,
+        },
+        None => PvOutcome::Unsolvable,
     }
 }
 

@@ -113,6 +113,11 @@ pub struct ScenarioGrid {
     locations: Vec<Location>,
     service_window_h: f64,
     nodes: usize,
+    /// The paper-table ISD for `nodes`, resolved when `nodes` is set —
+    /// carrying the looked-up value around (instead of re-deriving it
+    /// with an `expect()` in `expand`/`deployment_isd`) makes "every
+    /// node count has an ISD" an invariant the type proves.
+    isd: Meters,
 }
 
 impl ScenarioGrid {
@@ -129,6 +134,9 @@ impl ScenarioGrid {
             locations: vec![climate::berlin()],
             service_window_h: 19.0,
             nodes: 10,
+            isd: IsdTable::paper()
+                .isd_for(10)
+                .expect("paper table covers 10 nodes"),
         }
     }
 
@@ -244,15 +252,29 @@ impl ScenarioGrid {
     /// # Panics
     ///
     /// Panics if the paper's ISD table has no entry for `nodes`
-    /// (it covers 0–10).
+    /// (it covers 0–10). Machine-generated node counts should use
+    /// [`ScenarioGrid::try_repeater_nodes`] instead.
     #[must_use]
-    pub fn repeater_nodes(mut self, nodes: usize) -> Self {
-        assert!(
-            IsdTable::paper().isd_for(nodes).is_some(),
-            "no paper ISD for {nodes} nodes"
-        );
+    pub fn repeater_nodes(self, nodes: usize) -> Self {
+        match self.try_repeater_nodes(nodes) {
+            Ok(grid) => grid,
+            Err(_) => panic!("no paper ISD for {nodes} nodes"),
+        }
+    }
+
+    /// Fallible variant of [`ScenarioGrid::repeater_nodes`] for
+    /// machine-generated node counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::NoIsdForNodeCount`] if the paper's ISD
+    /// table has no entry for `nodes`.
+    pub fn try_repeater_nodes(mut self, nodes: usize) -> Result<Self, ScenarioError> {
+        self.isd = IsdTable::paper()
+            .isd_for(nodes)
+            .ok_or(ScenarioError::NoIsdForNodeCount(nodes))?;
         self.nodes = nodes;
-        self
+        Ok(self)
     }
 
     /// Number of cells the grid expands to: the product of all axis
@@ -281,9 +303,7 @@ impl ScenarioGrid {
     /// fail validation (e.g. a zero spacing or an empty timetable on some
     /// axis).
     pub fn expand(&self) -> Result<Vec<ScenarioCell>, ScenarioError> {
-        let isd = IsdTable::paper()
-            .isd_for(self.nodes)
-            .expect("checked in repeater_nodes");
+        let isd = self.isd;
         let mut cells = Vec::with_capacity(self.len());
         for &tph in &self.trains_per_hour {
             for &speed in &self.train_speeds_kmh {
@@ -322,9 +342,7 @@ impl ScenarioGrid {
 
     /// The deployment ISD every cell is evaluated at.
     pub fn deployment_isd(&self) -> Meters {
-        IsdTable::paper()
-            .isd_for(self.nodes)
-            .expect("checked in repeater_nodes")
+        self.isd
     }
 }
 
@@ -405,6 +423,16 @@ mod tests {
     #[should_panic(expected = "no paper ISD for 11 nodes")]
     fn oversized_node_count_rejected() {
         let _ = ScenarioGrid::new().repeater_nodes(11);
+    }
+
+    #[test]
+    fn oversized_node_count_is_a_recoverable_error_via_try() {
+        let err = ScenarioGrid::new().try_repeater_nodes(11).unwrap_err();
+        assert_eq!(err, ScenarioError::NoIsdForNodeCount(11));
+        // the fallible path sets nodes and ISD together on success
+        let grid = ScenarioGrid::new().try_repeater_nodes(3).unwrap();
+        assert_eq!(grid.nodes(), 3);
+        assert_eq!(grid.deployment_isd(), Meters::new(1600.0));
     }
 
     #[test]

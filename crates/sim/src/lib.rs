@@ -22,6 +22,13 @@
 //! renderings are byte-identical no matter how many workers produced
 //! them.
 //!
+//! On top of the sweep sits the deployment optimizer: a [`SearchSpace`]
+//! (repeater counts × ISD resolution × wake policies, optional PV
+//! sizing) searched per cell by the [`DeploymentOptimizer`] through a
+//! shared, memoized coverage cache, yielding a per-cell **Pareto
+//! frontier** over energy/day, nodes/km and coverage margin
+//! ([`OptimizeReport`]).
+//!
 //! On top of the deterministic sweep sits the Monte-Carlo layer: a
 //! [`ReplicationPlan`] replicates every grid cell over seeded stochastic
 //! days (Poisson, jittered — see [`TrafficSpec`]), the [`McEngine`]
@@ -54,6 +61,7 @@ mod cell;
 mod engine;
 mod grid;
 mod mc;
+mod optimize;
 mod report;
 
 pub use cell::{CellResult, PvOutcome, ScenarioCell};
@@ -61,6 +69,10 @@ pub use engine::{Evaluator, SweepEngine};
 pub use grid::{PowerProfile, ScenarioGrid};
 pub use mc::{
     McCellResult, McEngine, McMetric, McReport, ReplicationPlan, TrafficSpec, MC_CSV_HEADER,
+};
+pub use optimize::{
+    CellOutcome, DeploymentOptimizer, FrontierPoint, IsdSearch, OptimizeCellResult, OptimizeReport,
+    SearchSpace, OPTIMIZE_CSV_HEADER,
 };
 pub use report::{SweepReport, CSV_HEADER};
 

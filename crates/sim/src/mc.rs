@@ -336,8 +336,9 @@ impl McEngine {
     /// # Errors
     ///
     /// Returns [`ScenarioError::ZeroWorkers`] for an explicit worker
-    /// count of zero, or the [`ScenarioError`] of the first cell whose
-    /// parameters fail validation.
+    /// count of zero, [`ScenarioError::WorkerPoolBuild`] if the pool
+    /// cannot be built, or the [`ScenarioError`] of the first cell
+    /// whose parameters fail validation.
     pub fn run(
         &self,
         grid: &ScenarioGrid,
@@ -347,10 +348,7 @@ impl McEngine {
             return Err(ScenarioError::ZeroWorkers);
         }
         let (contexts, items) = self.expand(grid, plan)?;
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.workers.unwrap_or(0))
-            .build()
-            .expect("shim pool build is infallible");
+        let pool = crate::engine::build_pool(self.workers)?;
         let samples: Vec<DaySample> = pool.install(|| {
             items
                 .par_iter()

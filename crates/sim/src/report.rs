@@ -70,12 +70,26 @@ impl SweepReport {
     }
 
     /// The cell with the highest savings under `strategy`, if any.
+    ///
+    /// Non-finite savings (still producible by a custom
+    /// [`PowerProfile`](crate::PowerProfile) carrying NaN/∞ powers, which
+    /// sidestep the zero-baseline convention of
+    /// [`SegmentEnergy::savings_vs`](corridor_core::energy::SegmentEnergy::savings_vs))
+    /// rank below every finite value, so a poisoned cell can never be
+    /// "best" and the comparison never panics. Ties keep the later grid
+    /// cell, a deterministic total order via [`f64::total_cmp`].
     pub fn best_cell(&self, strategy: EnergyStrategy) -> Option<&CellResult> {
-        self.results.iter().max_by(|a, b| {
-            a.savings(strategy)
-                .partial_cmp(&b.savings(strategy))
-                .expect("savings are finite")
-        })
+        let key = |r: &CellResult| {
+            let savings = r.savings(strategy);
+            // NaN *and* +inf demote (a -inf deployed energy yields +inf
+            // "savings", which must not outrank any finite cell)
+            if savings.is_finite() {
+                savings
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        self.results.iter().max_by(|a, b| key(a).total_cmp(&key(b)))
     }
 
     /// Renders the report as CSV ([`CSV_HEADER`] plus one line per cell).
@@ -309,6 +323,55 @@ mod tests {
         assert!(SweepReport::new(Vec::new())
             .best_cell(EnergyStrategy::SleepModeRepeaters)
             .is_none());
+    }
+
+    #[test]
+    fn best_cell_survives_non_finite_savings() {
+        use crate::{CellResult, ScenarioCell};
+        use corridor_core::energy::SegmentEnergy;
+        use corridor_core::ScenarioParams;
+        use corridor_units::{Meters, Watts};
+
+        let split = |w: f64| SegmentEnergy {
+            hp: Watts::new(w),
+            service: Watts::ZERO,
+            donor: Watts::ZERO,
+        };
+        let cell_with = |index: usize, deployed_w: f64| {
+            let cell = ScenarioCell::new(
+                index,
+                ScenarioParams::paper_default(),
+                climate::berlin(),
+                "nan-profile".to_owned(),
+                10,
+                Meters::new(2650.0),
+            );
+            let e = split(deployed_w);
+            // finite positive baseline: savings = 1 - deployed/400, so a
+            // NaN/inf deployed energy flows straight into the savings
+            // (the pre-PR-4 reachability via custom PowerProfiles)
+            CellResult::new(cell, "analytic", split(400.0), e, e, e, PvOutcome::Skipped)
+        };
+        let report = SweepReport::new(vec![
+            cell_with(0, f64::NAN),          // savings NaN
+            cell_with(1, 100.0),             // savings 0.75 — the real winner
+            cell_with(2, f64::INFINITY),     // savings -inf
+            cell_with(3, 200.0),             // savings 0.5
+            cell_with(4, f64::NEG_INFINITY), // savings +inf — must not win
+        ]);
+        // regression: this used to panic on partial_cmp of NaN
+        let best = report
+            .best_cell(EnergyStrategy::SleepModeRepeaters)
+            .unwrap();
+        assert_eq!(best.cell().index(), 1);
+        assert!((best.savings(EnergyStrategy::SleepModeRepeaters) - 0.75).abs() < 1e-12);
+
+        // an all-non-finite report still yields a deterministic winner
+        let poisoned = SweepReport::new(vec![cell_with(0, f64::NAN), cell_with(1, f64::INFINITY)]);
+        let best = poisoned
+            .best_cell(EnergyStrategy::SleepModeRepeaters)
+            .unwrap();
+        assert_eq!(best.cell().index(), 1);
     }
 
     #[test]

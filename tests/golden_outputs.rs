@@ -63,3 +63,4 @@ golden_test!(fig4);
 golden_test!(isd_sweep);
 golden_test!(poisson_stats);
 golden_test!(mc_smoke);
+golden_test!(optimize_smoke);
