@@ -2,7 +2,7 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize results
+.PHONY: ci fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
 
 ci: fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
@@ -60,6 +60,13 @@ bench-mc:
 # and asserts the >= 2x profile saving over the naive per-step sweep).
 bench-optimize:
 	cargo bench -q -p corridor_bench --bench optimize
+
+# Regenerate the committed BENCH_*.json throughput snapshots at the repo
+# root, then re-verify this machine against them (>20 % drop fails).
+# Run on a quiet machine; the snapshots are committed like goldens.
+bench-snapshot:
+	cargo run -q --release -p corridor_bench --bin bench_snapshot
+	BENCH_SNAPSHOT_VERIFY=1 cargo test -q --release -p corridor_bench --test bench_snapshots
 
 # Regenerate the committed reference outputs under docs/results/.
 results:

@@ -1,0 +1,30 @@
+//! Regenerates the committed `BENCH_*.json` throughput snapshots at
+//! the repository root (`make bench-snapshot`).
+//!
+//! Each snapshot measures one hot path single-threaded — raw event
+//! throughput, serial Monte-Carlo cell-days/s, serial sweep cells/s —
+//! and records it against the fixed pre-overhaul baseline. The guard
+//! test in `tests/bench_snapshots.rs` keeps the committed values above
+//! the PR-6 floors, so run this on a quiet machine and eyeball the
+//! diff before committing.
+
+use corridor_bench::snapshot::{measure_events, measure_mc, measure_sweep, Snapshot};
+
+fn main() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for snap in [measure_events(), measure_mc(), measure_sweep()] {
+        write_snapshot(root, &snap);
+    }
+}
+
+fn write_snapshot(root: &str, snap: &Snapshot) {
+    let path = format!("{root}/BENCH_{}.json", snap.name);
+    std::fs::write(&path, snap.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "{}: {:.0} {} ({:.2}x baseline) -> {path}",
+        snap.name,
+        snap.value,
+        snap.metric,
+        snap.speedup()
+    );
+}

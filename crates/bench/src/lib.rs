@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod render;
+pub mod snapshot;
 
 use corridor_core::deploy::IsdTable;
 use corridor_core::traffic::PoissonTimetable;

@@ -1,0 +1,106 @@
+//! Guards the committed `BENCH_*.json` throughput snapshots.
+//!
+//! Always: every snapshot must parse, be internally consistent, and sit
+//! above its PR-6 floor (≥5× events/s, ≥5× Monte-Carlo cell-days/s,
+//! ≥3× sweep cells/s over the pre-overhaul baselines) — so a committed
+//! regression below the order-of-magnitude overhaul's floor fails even
+//! on a loaded CI runner, without re-measuring anything.
+//!
+//! Opt-in (`BENCH_SNAPSHOT_VERIFY=1`, release builds only): re-measures
+//! each path on this machine and fails if it lands >20 % below the
+//! committed value — tolerant of scheduler noise, strict on real
+//! regressions. Debug builds skip the re-measure entirely; unoptimized
+//! throughput says nothing about the committed release numbers.
+
+use corridor_bench::snapshot::{
+    measure_events, measure_mc, measure_sweep, Snapshot, EVENTS_BASELINE, EVENTS_REQUIRED_SPEEDUP,
+    MC_BASELINE, MC_REQUIRED_SPEEDUP, SWEEP_BASELINE, SWEEP_REQUIRED_SPEEDUP,
+};
+
+/// (file stem, metric, pinned baseline, required multiple).
+const EXPECTED: [(&str, &str, f64, f64); 3] = [
+    (
+        "events",
+        "events_per_second",
+        EVENTS_BASELINE,
+        EVENTS_REQUIRED_SPEEDUP,
+    ),
+    (
+        "mc",
+        "cell_days_per_second",
+        MC_BASELINE,
+        MC_REQUIRED_SPEEDUP,
+    ),
+    (
+        "sweep",
+        "cells_per_second",
+        SWEEP_BASELINE,
+        SWEEP_REQUIRED_SPEEDUP,
+    ),
+];
+
+fn committed(name: &str) -> Snapshot {
+    let path = format!("{}/../../BENCH_{name}.json", env!("CARGO_MANIFEST_DIR"));
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path} missing — run `make bench-snapshot` ({e})"));
+    Snapshot::parse(&json).unwrap_or_else(|| panic!("{path} is not a valid snapshot"))
+}
+
+#[test]
+fn committed_snapshots_meet_the_floors() {
+    for (name, metric, baseline, required) in EXPECTED {
+        let snap = committed(name);
+        assert_eq!(snap.name, name, "BENCH_{name}.json names the wrong path");
+        assert_eq!(snap.metric, metric, "BENCH_{name}.json metric drifted");
+        assert_eq!(
+            snap.baseline, baseline,
+            "BENCH_{name}.json baseline must stay the pre-overhaul figure"
+        );
+        assert!(snap.host_cores >= 1, "BENCH_{name}.json host_cores");
+        assert!(
+            snap.value.is_finite() && snap.value > 0.0,
+            "BENCH_{name}.json value must be a positive throughput"
+        );
+        assert!(
+            snap.speedup() >= required,
+            "BENCH_{name}.json: committed {:.0} {metric} is {:.2}x the {baseline:.0} baseline, \
+             below the required {required}x floor",
+            snap.value,
+            snap.speedup()
+        );
+    }
+}
+
+/// Re-measures this machine against the committed values. Opt-in: noisy
+/// shared runners would flake a hard wall-clock gate, so the default
+/// `cargo test` run only checks the committed numbers above.
+#[test]
+fn remeasured_throughput_is_within_20_percent_of_committed() {
+    if std::env::var("BENCH_SNAPSHOT_VERIFY").as_deref() != Ok("1") {
+        eprintln!("skipped: set BENCH_SNAPSHOT_VERIFY=1 to re-measure");
+        return;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("skipped: re-measurement is only meaningful with --release");
+        return;
+    }
+    for (name, measure) in [
+        ("events", measure_events as fn() -> Snapshot),
+        ("mc", measure_mc),
+        ("sweep", measure_sweep),
+    ] {
+        let pinned = committed(name);
+        let fresh = measure();
+        assert!(
+            fresh.value >= 0.8 * pinned.value,
+            "{name}: measured {:.0} {} regressed >20% below the committed {:.0}",
+            fresh.value,
+            fresh.metric,
+            pinned.value
+        );
+        eprintln!(
+            "{name}: measured {:.0} vs committed {:.0} {} — ok",
+            fresh.value, pinned.value, fresh.metric
+        );
+    }
+}

@@ -1,8 +1,11 @@
 //! Average corridor energy per hour and kilometre (the paper's Fig. 4).
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
 use corridor_deploy::{Corridor, IsdTable, SegmentInventory};
 use corridor_traffic::{ActivityTimeline, TrackSection};
-use corridor_units::{Meters, WattHours, Watts};
+use corridor_units::{Hours, Meters, WattHours, Watts};
 
 use crate::{EnergyStrategy, ScenarioError, ScenarioParams};
 
@@ -50,9 +53,56 @@ impl SegmentEnergy {
     }
 }
 
-/// Daily full-load hours of a node whose coverage section spans `section`.
-fn active_hours(params: &ScenarioParams, section: TrackSection) -> corridor_units::Hours {
-    ActivityTimeline::for_section(&section, &params.timetable().passes()).total_active_hours()
+/// Everything the daily activity of a coverage section depends on —
+/// the deterministic timetable and the section bounds — compared by
+/// bits so distinct floats never alias.
+type ActivityKey = [u64; 7];
+
+fn activity_key(params: &ScenarioParams, section: &TrackSection) -> ActivityKey {
+    let timetable = params.timetable();
+    let train = timetable.train();
+    [
+        timetable.trains_per_hour().to_bits(),
+        timetable.service_window().value().to_bits(),
+        timetable.service_start().value().to_bits(),
+        train.length().value().to_bits(),
+        train.speed().value().to_bits(),
+        section.start().value().to_bits(),
+        section.end().value().to_bits(),
+    ]
+}
+
+fn activity_cache() -> &'static Mutex<HashMap<ActivityKey, u64>> {
+    static CACHE: OnceLock<Mutex<HashMap<ActivityKey, u64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Daily full-load hours of a node whose coverage section spans
+/// `section`, memoized process-wide.
+///
+/// A sweep evaluates thousands of cells that share a handful of
+/// `(timetable, section)` combinations; expanding the timetable into
+/// passes and merging the occupancy timeline for each one is the hot
+/// analytic-path cost. The memo stores the resulting hours by the bit
+/// pattern of every input the timeline depends on, so a hit is exact —
+/// never a nearby float — and a cached value is bit-identical to a
+/// fresh computation.
+pub fn active_hours(params: &ScenarioParams, section: TrackSection) -> Hours {
+    let key = activity_key(params, &section);
+    if let Some(&bits) = activity_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&key)
+    {
+        return Hours::new(f64::from_bits(bits));
+    }
+    let hours =
+        ActivityTimeline::for_section(&section, &params.timetable().passes()).total_active_hours();
+    activity_cache()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(key, hours.value().to_bits());
+    hours
 }
 
 /// Average mains power per km for `n` repeater nodes at inter-site
@@ -92,23 +142,41 @@ pub fn average_power_per_km(
     isd: Meters,
     strategy: EnergyStrategy,
 ) -> SegmentEnergy {
+    let hp_active = active_hours(params, TrackSection::new(Meters::ZERO, isd));
+    let service_active = active_hours(params, TrackSection::around(isd / 2.0, params.lp_spacing()));
+    split_from_active_hours(params, n, isd, strategy, hp_active, service_active)
+}
+
+/// [`average_power_per_km`] with the activity integrals already in hand.
+///
+/// This is the entire split computation downstream of the timeline:
+/// `hp_active` is the daily occupancy of the ISD-long section (driving
+/// masts and donors), `service_active` that of the spacing-wide section
+/// around the mid-segment service node. The scalar path and the
+/// struct-of-arrays batch evaluator both call this one function, so
+/// their results are bit-identical by construction.
+pub fn split_from_active_hours(
+    params: &ScenarioParams,
+    n: usize,
+    isd: Meters,
+    strategy: EnergyStrategy,
+    hp_active: Hours,
+    service_active: Hours,
+) -> SegmentEnergy {
     let inventory = SegmentInventory::for_nodes(n, isd);
     let per_km = inventory.segments_per_km();
 
     // High-power mast: full load while a train is in its ISD section,
     // asleep otherwise (all strategies).
-    let hp_active = active_hours(params, TrackSection::new(Meters::ZERO, isd));
-    let hp_duty = corridor_power::DutyCycle::over_day(hp_active, corridor_units::Hours::ZERO);
+    let hp_duty = corridor_power::DutyCycle::over_day(hp_active, Hours::ZERO);
     let hp_avg = hp_duty.average_power(params.hp_mast());
 
     // Service node: full load while a train is within its spacing-wide
     // section.
-    let service_active = active_hours(params, TrackSection::around(isd / 2.0, params.lp_spacing()));
-    let service_duty =
-        corridor_power::DutyCycle::over_day(service_active, corridor_units::Hours::ZERO);
+    let service_duty = corridor_power::DutyCycle::over_day(service_active, Hours::ZERO);
 
     // Donor node: full load while a train is anywhere in the segment.
-    let donor_duty = corridor_power::DutyCycle::over_day(hp_active, corridor_units::Hours::ZERO);
+    let donor_duty = corridor_power::DutyCycle::over_day(hp_active, Hours::ZERO);
 
     let (service_avg, donor_avg) = match strategy {
         EnergyStrategy::ContinuousRepeaters => (

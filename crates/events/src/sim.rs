@@ -1,10 +1,31 @@
 //! The discrete-event corridor simulator.
 
+use std::cell::RefCell;
+
 use corridor_traffic::{TrackSection, TrainPass};
 use corridor_units::{Hours, Meters, Seconds};
 
 use crate::{Event, EventKind, EventQueue, NodeSpec, SimReport, StateTrace, WakePolicy};
 use crate::{NodeReport, NodeState};
+
+/// Reusable per-thread simulation arena: the event queue (staging +
+/// calendar buckets + overflow heap) and the per-node runtime vector.
+///
+/// Both are cleared, never dropped, between runs — a replicated
+/// simulation ([`crate::SegmentReplicator`] replaying hundreds of seeded
+/// days, or a Monte-Carlo worker pulling cell-days off the pool) reuses
+/// one arena per worker thread and stops paying the allocator on its hot
+/// path entirely.
+#[derive(Default)]
+struct SimScratch {
+    queue: EventQueue,
+    runtimes: Vec<NodeRuntime>,
+}
+
+thread_local! {
+    /// One simulation arena per thread, shared by every simulator on it.
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::default());
+}
 
 /// Per-node runtime state of the event loop.
 struct NodeRuntime {
@@ -147,14 +168,28 @@ impl CorridorSimulator {
     }
 
     /// The core loop: schedules barrier/enter/exit events for every
-    /// `(node, occupancy)` pair, then drives the state machines.
+    /// `(node, occupancy)` pair, then drives the state machines — on the
+    /// calling thread's reused [`SimScratch`] arena.
     fn run(
         &self,
         nodes: &[NodeSpec],
         passes: usize,
         occupancies: impl Iterator<Item = (usize, (Seconds, Seconds))>,
     ) -> SimReport {
-        let mut queue = EventQueue::new();
+        SCRATCH
+            .with(|cell| self.run_with_scratch(&mut cell.borrow_mut(), nodes, passes, occupancies))
+    }
+
+    /// [`CorridorSimulator::run`] against an explicit scratch arena.
+    fn run_with_scratch(
+        &self,
+        scratch: &mut SimScratch,
+        nodes: &[NodeSpec],
+        passes: usize,
+        occupancies: impl Iterator<Item = (usize, (Seconds, Seconds))>,
+    ) -> SimReport {
+        let SimScratch { queue, runtimes } = scratch;
+        queue.clear();
         for (node, (enter, exit)) in occupancies {
             // intervals entirely outside the horizon never power the node
             if exit <= Seconds::ZERO || enter >= self.horizon || exit <= enter {
@@ -177,30 +212,28 @@ impl CorridorSimulator {
             });
         }
 
-        let mut runtimes: Vec<NodeRuntime> = nodes
-            .iter()
-            .map(|_| NodeRuntime {
-                state: NodeState::Asleep,
-                state_since: Seconds::ZERO,
-                occupancy: 0,
-                expected: 0,
-                wake_seq: 0,
-                drain_seq: 0,
-                occupied_since: Seconds::ZERO,
-                trace: StateTrace::new(self.horizon),
-            })
-            .collect();
+        runtimes.clear();
+        runtimes.extend(nodes.iter().map(|_| NodeRuntime {
+            state: NodeState::Asleep,
+            state_since: Seconds::ZERO,
+            occupancy: 0,
+            expected: 0,
+            wake_seq: 0,
+            drain_seq: 0,
+            occupied_since: Seconds::ZERO,
+            trace: StateTrace::new(self.horizon),
+        }));
 
         let mut events = 0usize;
         while let Some(event) = queue.pop() {
             events += 1;
-            self.handle(&mut runtimes[event.node], event, &mut queue);
+            self.handle(&mut runtimes[event.node], event, queue);
         }
 
         // close every node's final state segment at the horizon
         let reports = nodes
             .iter()
-            .zip(runtimes)
+            .zip(runtimes.drain(..))
             .map(|(spec, mut rt)| {
                 let remaining = self.horizon - rt.state_since;
                 rt.trace.add(rt.state, remaining);

@@ -1,0 +1,455 @@
+//! Differential suite: the calendar/bucket [`EventQueue`] against the
+//! binary-heap implementation it replaced.
+//!
+//! The old heap lives on here as [`ReferenceQueue`], byte-for-byte the
+//! implementation that shipped before the arena rewrite. Property tests
+//! drive both queues through the same operation sequences — pushes with
+//! engineered timestamp ties, interleaved pops, pushes in the past,
+//! clear-and-replay cycles — and require identical pop streams. On top
+//! of the queue-level properties, the simulator's smoke outputs (paper
+//! policy, instant policy, Poisson day, double track) are pinned to
+//! digests captured from the pre-rewrite implementation, so the swap is
+//! provably invisible end to end.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt::Write as _;
+
+use corridor_core::traffic::{PoissonTimetable, Timetable, TrackSection, TrainPass};
+use corridor_core::units::{Meters, Seconds};
+use corridor_events::{
+    segment_nodes, CorridorSimulator, Event, EventKind, EventQueue, SimReport, WakePolicy,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// The reference implementation: the pre-rewrite binary-heap queue,
+// kept verbatim (modulo names) as the differential oracle.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    event: Event,
+    seq: u64,
+}
+
+fn kind_rank(kind: EventKind) -> u8 {
+    match kind {
+        EventKind::BarrierTrip => 0,
+        EventKind::WakeComplete(_) => 1,
+        EventKind::TrainEnter => 2,
+        EventKind::TrainExit => 3,
+        EventKind::DrainExpire(_) => 4,
+    }
+}
+
+impl HeapEntry {
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        self.event
+            .time
+            .partial_cmp(&other.event.time)
+            .expect("event times are never NaN")
+            .then_with(|| kind_rank(self.event.kind).cmp(&kind_rank(other.event.kind)))
+            .then_with(|| self.event.node.cmp(&other.event.node))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we want the earliest event
+        self.key_cmp(other).reverse()
+    }
+}
+
+/// The pre-rewrite queue: a plain binary min-heap with an insertion
+/// sequence as the final tiebreak.
+#[derive(Debug, Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue::default()
+    }
+
+    fn push(&mut self, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { event, seq });
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|entry| entry.event)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// An event's observable identity, with the time as raw bits so `-0.0`
+/// and `+0.0` cannot alias through `==`.
+fn fingerprint(event: Event) -> (u64, usize, EventKind) {
+    (event.time.value().to_bits(), event.node, event.kind)
+}
+
+fn assert_same_pop(arena: Option<Event>, reference: Option<Event>) {
+    assert_eq!(arena.map(fingerprint), reference.map(fingerprint));
+}
+
+fn drain_both(arena: &mut EventQueue, reference: &mut ReferenceQueue) {
+    loop {
+        let (a, r) = (arena.pop(), reference.pop());
+        let done = a.is_none() && r.is_none();
+        assert_same_pop(a, r);
+        if done {
+            return;
+        }
+    }
+}
+
+fn kind_of(selector: u8, tag: u64) -> EventKind {
+    match selector % 5 {
+        0 => EventKind::BarrierTrip,
+        1 => EventKind::WakeComplete(tag),
+        2 => EventKind::TrainEnter,
+        3 => EventKind::TrainExit,
+        _ => EventKind::DrainExpire(tag),
+    }
+}
+
+fn ev(time: f64, node: usize, kind: EventKind) -> Event {
+    Event {
+        time: Seconds::new(time),
+        node,
+        kind,
+    }
+}
+
+/// Times engineered to collide: a handful of exact constants (including
+/// the `-0.0`/`+0.0` pair) plus coarse grids, so same-timestamp
+/// tie-breaks are exercised constantly rather than almost never.
+fn time_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(10.0),
+        Just(86_400.0),
+        (-50.0..=100.0f64).prop_map(|t| t.floor()),
+        (0.0..=25.0f64).prop_map(|t| (t * 2.0).floor() / 2.0),
+        -10.0..=90_000.0f64,
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Queue-level differential properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary push/pop interleavings: every pop (including mid-stream
+    /// and post-exhaustion pops) returns exactly what the reference heap
+    /// returns, bit for bit.
+    #[test]
+    fn arbitrary_interleavings_match_the_reference(
+        ops in prop::collection::vec(
+            ((0u8..=3, 0u8..=4), (time_strategy(), 0usize..6, 0u64..3)),
+            1..120,
+        ),
+    ) {
+        let mut arena = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        for ((opcode, kind_sel), (time, node, tag)) in ops {
+            if opcode == 0 {
+                // pop both (possibly from empty)
+                assert_same_pop(arena.pop(), reference.pop());
+            } else {
+                let event = ev(time, node, kind_of(kind_sel, tag));
+                arena.push(event);
+                reference.push(event);
+            }
+            prop_assert_eq!(arena.len(), reference.len());
+            prop_assert_eq!(arena.is_empty(), reference.len() == 0);
+        }
+        drain_both(&mut arena, &mut reference);
+    }
+
+    /// Clear-and-replay cycles: a queue that is cleared and refilled —
+    /// sometimes with the identical population (the replay-cache fast
+    /// path), sometimes with a fresh one — behaves exactly like a fresh
+    /// reference heap every cycle.
+    #[test]
+    fn cleared_queue_matches_a_fresh_reference(
+        population in prop::collection::vec(
+            (time_strategy(), 0usize..5, 0u8..=4),
+            1..60,
+        ),
+        replays in 1usize..4,
+        mutate in 0u8..=1,
+    ) {
+        let mut arena = EventQueue::new();
+        for round in 0..replays {
+            arena.clear();
+            let mut reference = ReferenceQueue::new();
+            for (i, &(time, node, kind_sel)) in population.iter().enumerate() {
+                // optionally perturb the last round so the replay check
+                // must reject the population and re-sort
+                let t = if mutate == 1 && round + 1 == replays {
+                    time + 0.25
+                } else {
+                    time
+                };
+                let event = ev(t, node, kind_of(kind_sel, i as u64));
+                arena.push(event);
+                reference.push(event);
+            }
+            drain_both(&mut arena, &mut reference);
+        }
+    }
+
+    /// Pops interleaved into the staging stream: sealing early (first
+    /// pop) and then pushing the rest — including events in the past —
+    /// must still match the reference pop order exactly.
+    #[test]
+    fn early_seal_with_late_pushes_matches(
+        before in prop::collection::vec((time_strategy(), 0usize..4, 0u8..=4), 1..40),
+        after in prop::collection::vec((time_strategy(), 0usize..4, 0u8..=4), 1..40),
+        pops_between in 1usize..5,
+    ) {
+        let mut arena = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        for (i, &(time, node, kind_sel)) in before.iter().enumerate() {
+            let event = ev(time, node, kind_of(kind_sel, i as u64));
+            arena.push(event);
+            reference.push(event);
+        }
+        for _ in 0..pops_between {
+            assert_same_pop(arena.pop(), reference.pop());
+        }
+        for (i, &(time, node, kind_sel)) in after.iter().enumerate() {
+            let event = ev(time, node, kind_of(kind_sel, i as u64));
+            arena.push(event);
+            reference.push(event);
+        }
+        drain_both(&mut arena, &mut reference);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic event populations from the traffic model
+// ---------------------------------------------------------------------
+
+/// Pushes the simulator's static event population (barrier, enter,
+/// exit per occupancy, with the simulator's horizon-clipping rule) into
+/// both queues.
+fn push_occupancies(
+    arena: &mut EventQueue,
+    reference: &mut ReferenceQueue,
+    sections: &[TrackSection],
+    passes: &[TrainPass],
+    lead: Seconds,
+    horizon: Seconds,
+) {
+    for (node, section) in sections.iter().enumerate() {
+        for pass in passes {
+            let (enter, exit) = section.occupancy(pass);
+            if exit <= Seconds::ZERO || enter >= horizon || exit <= enter {
+                continue;
+            }
+            for event in [
+                ev((enter - lead).value(), node, EventKind::BarrierTrip),
+                ev(enter.value(), node, EventKind::TrainEnter),
+                ev(exit.value(), node, EventKind::TrainExit),
+            ] {
+                arena.push(event);
+                reference.push(event);
+            }
+        }
+    }
+}
+
+#[test]
+fn horizon_clipped_passes_match_the_reference() {
+    // passes straddling both horizon edges: one still in the section at
+    // midnight, one entirely past the day, one entering before t = 0
+    // (negative barrier-trip times via the wake lead)
+    let train = corridor_core::traffic::Train::paper_default();
+    let passes: Vec<TrainPass> = [-5.0, 0.0, 10.0, 86_390.0, 86_395.0, 90_000.0]
+        .into_iter()
+        .map(|t| TrainPass::new(train, Seconds::new(t)))
+        .collect();
+    let sections = [
+        TrackSection::new(Meters::ZERO, Meters::new(500.0)),
+        TrackSection::new(Meters::new(400.0), Meters::new(900.0)),
+    ];
+    let mut arena = EventQueue::new();
+    let mut reference = ReferenceQueue::new();
+    push_occupancies(
+        &mut arena,
+        &mut reference,
+        &sections,
+        &passes,
+        WakePolicy::paper_default().lead(),
+        Seconds::new(86_400.0),
+    );
+    drain_both(&mut arena, &mut reference);
+}
+
+#[test]
+fn zero_length_sections_match_the_reference() {
+    // a zero-length section still has a positive occupancy (train length
+    // over speed), and two nodes at the same point produce full
+    // timestamp collisions across all three event kinds
+    let train = corridor_core::traffic::Train::paper_default();
+    let passes: Vec<TrainPass> = (0..20)
+        .map(|i| TrainPass::new(train, Seconds::new(f64::from(i) * 450.0)))
+        .collect();
+    let at = Meters::new(700.0);
+    let sections = [
+        TrackSection::new(at, at),
+        TrackSection::new(at, at),
+        TrackSection::new(Meters::ZERO, at),
+    ];
+    let mut arena = EventQueue::new();
+    let mut reference = ReferenceQueue::new();
+    push_occupancies(
+        &mut arena,
+        &mut reference,
+        &sections,
+        &passes,
+        Seconds::ZERO,
+        Seconds::new(86_400.0),
+    );
+    drain_both(&mut arena, &mut reference);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end smoke digests pinned from the pre-rewrite implementation
+// ---------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A digest over every float bit and counter a [`SimReport`] exposes.
+fn report_digest(report: &SimReport) -> u64 {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{}|{}|{};",
+        report.horizon().value().to_bits(),
+        report.events_processed(),
+        report.passes()
+    );
+    for node in report.nodes() {
+        let t = node.trace();
+        let _ = write!(
+            s,
+            "{:?}|{}|{}|{}|{}|{}|{}|{};",
+            node.kind(),
+            t.asleep().value().to_bits(),
+            t.waking().value().to_bits(),
+            t.active().value().to_bits(),
+            t.drain().value().to_bits(),
+            t.powered().value().to_bits(),
+            t.wakes(),
+            t.uncovered().value().to_bits(),
+        );
+    }
+    fnv1a(s.as_bytes())
+}
+
+/// Digests of the smoke simulations captured by running this exact
+/// digest on the pre-rewrite (binary-heap) implementation. The arena
+/// queue must reproduce the old outputs bit for bit.
+const PAPER_DIGEST: u64 = 0x0fd6_5c95_c119_d3d6;
+const INSTANT_DIGEST: u64 = 0x9f1c_eaef_313f_5acc;
+const POISSON_DIGEST: u64 = 0x75a2_3e4d_9ca9_9319;
+const DOUBLE_TRACK_DIGEST: u64 = 0x3431_5226_b94f_8a58;
+
+#[test]
+fn simulate_smoke_output_is_byte_identical_to_the_heap_era() {
+    let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+    let passes = Timetable::paper_default().passes();
+
+    let paper = CorridorSimulator::new()
+        .with_policy(WakePolicy::paper_default())
+        .simulate(&nodes, &passes);
+    assert_eq!(report_digest(&paper), PAPER_DIGEST);
+
+    let instant = CorridorSimulator::new().simulate(&nodes, &passes);
+    assert_eq!(report_digest(&instant), INSTANT_DIGEST);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let poisson_passes = PoissonTimetable::paper_rate().sample_passes(&mut rng);
+    let poisson = CorridorSimulator::new()
+        .with_policy(WakePolicy::paper_default())
+        .simulate(&nodes, &poisson_passes);
+    assert_eq!(report_digest(&poisson), POISSON_DIGEST);
+}
+
+#[test]
+fn double_track_smoke_output_is_byte_identical_to_the_heap_era() {
+    let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+    let passes = Timetable::paper_default().passes();
+    let length = nodes
+        .iter()
+        .map(|s| s.section().end())
+        .fold(Meters::ZERO, |a, b| if b > a { b } else { a });
+    let base = Timetable::paper_default();
+    let down = Timetable::new(
+        base.trains_per_hour(),
+        base.service_window(),
+        base.service_start() + Seconds::new(225.0),
+        base.train(),
+    )
+    .passes();
+    let double = CorridorSimulator::new()
+        .with_policy(WakePolicy::paper_default())
+        .simulate_double_track(&nodes, &passes, &down, length);
+    assert_eq!(report_digest(&double), DOUBLE_TRACK_DIGEST);
+}
+
+#[test]
+fn replayed_days_are_byte_identical_to_fresh_days() {
+    // the replay cache: simulating the same day repeatedly through one
+    // thread's scratch arena must keep producing the heap-era digest
+    let nodes = segment_nodes(10, Meters::new(2650.0), Meters::new(200.0));
+    let passes = Timetable::paper_default().passes();
+    let sim = CorridorSimulator::new().with_policy(WakePolicy::paper_default());
+    for _ in 0..3 {
+        let report = sim.simulate(&nodes, &passes);
+        assert_eq!(report_digest(&report), PAPER_DIGEST);
+    }
+    // and a different population in between must not poison the cache
+    let other =
+        PoissonTimetable::paper_rate().sample_passes(&mut rand::rngs::StdRng::seed_from_u64(7));
+    assert_eq!(report_digest(&sim.simulate(&nodes, &other)), POISSON_DIGEST);
+    assert_eq!(report_digest(&sim.simulate(&nodes, &passes)), PAPER_DIGEST);
+}

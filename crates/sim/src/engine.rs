@@ -4,11 +4,11 @@ use corridor_core::energy::SegmentEnergy;
 use corridor_core::{AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
 use corridor_events::{EventDrivenEvaluator, WakePolicy};
 use corridor_solar::{sizing, DailyLoadProfile};
-use corridor_traffic::{ActivityTimeline, TrackSection};
+use corridor_traffic::TrackSection;
 use corridor_units::Watts;
 use rayon::prelude::*;
 
-use crate::{CellResult, PvOutcome, ScenarioCell, ScenarioGrid, SweepReport};
+use crate::{batch, CellResult, PvOutcome, ScenarioCell, ScenarioGrid, SweepReport};
 
 /// Which energy backend evaluates the cells.
 ///
@@ -188,9 +188,14 @@ impl SweepEngine {
         }
         let cells = grid.expand()?;
         let pool = build_pool(self.workers)?;
-        let results: Vec<CellResult> =
-            pool.install(|| cells.par_iter().map(|cell| self.evaluate(cell)).collect());
-        Ok(SweepReport::new(results))
+        let chunks: Vec<&[ScenarioCell]> = cells.chunks(batch::BLOCK).collect();
+        let blocks: Vec<Vec<CellResult>> = pool.install(|| {
+            chunks
+                .par_iter()
+                .map(|chunk| self.evaluate_block(chunk))
+                .collect()
+        });
+        Ok(SweepReport::new(blocks.into_iter().flatten().collect()))
     }
 
     /// Expands the grid and evaluates every cell on the calling thread —
@@ -208,13 +213,43 @@ impl SweepEngine {
         }
         let cells = grid.expand()?;
         Ok(SweepReport::new(
-            cells.iter().map(|cell| self.evaluate(cell)).collect(),
+            cells
+                .chunks(batch::BLOCK)
+                .flat_map(|chunk| self.evaluate_block(chunk))
+                .collect(),
         ))
     }
 
     /// Evaluates one cell.
     pub fn evaluate(&self, cell: &ScenarioCell) -> CellResult {
         let [baseline, continuous, sleep, solar] = self.evaluator.splits(cell);
+        self.finish(cell, [baseline, continuous, sleep, solar])
+    }
+
+    /// Evaluates one block of cells.
+    ///
+    /// The analytic backend goes through the struct-of-arrays
+    /// [`batch::CellBlock`]: gather every activity column for the block
+    /// (each lookup memoized process-wide), then emit the splits per
+    /// cell from the columns. Batched and scalar evaluation share the
+    /// same split function, so their results are bit-identical.
+    fn evaluate_block(&self, cells: &[ScenarioCell]) -> Vec<CellResult> {
+        match self.evaluator {
+            Evaluator::Analytic => {
+                let block = batch::CellBlock::gather(cells);
+                cells
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cell)| self.finish(cell, block.splits(i, cell)))
+                    .collect()
+            }
+            Evaluator::EventDriven(_) => cells.iter().map(|cell| self.evaluate(cell)).collect(),
+        }
+    }
+
+    /// Attaches PV sizing and wraps the splits into a [`CellResult`].
+    fn finish(&self, cell: &ScenarioCell, splits: [SegmentEnergy; 4]) -> CellResult {
+        let [baseline, continuous, sleep, solar] = splits;
         let pv = if self.pv_sizing {
             self.size_pv(cell)
         } else {
@@ -264,9 +299,7 @@ pub(crate) fn size_repeater_pv(
     isd: corridor_units::Meters,
 ) -> PvOutcome {
     let section = TrackSection::around(isd / 2.0, params.lp_spacing());
-    let active_h = ActivityTimeline::for_section(&section, &params.timetable().passes())
-        .total_active_hours()
-        .value();
+    let active_h = corridor_core::energy::active_hours(params, section).value();
     size_repeater_pv_for_load(params, location, active_h)
 }
 

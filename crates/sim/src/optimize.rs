@@ -31,7 +31,7 @@ use std::sync::Arc;
 use corridor_core::{pareto, AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
 use corridor_deploy::{CoverageCache, IsdTable, LinkBudget, SegmentInventory};
 use corridor_events::{EventDrivenEvaluator, NodeKind, WakePolicy};
-use corridor_traffic::{ActivityTimeline, TrackSection};
+use corridor_traffic::TrackSection;
 use corridor_units::{Db, Meters};
 use rayon::prelude::*;
 
@@ -501,8 +501,7 @@ fn evaluate_cell(
                     (0.0, PvOutcome::Skipped)
                 } else {
                     let section = TrackSection::around(isd / 2.0, params.lp_spacing());
-                    let active =
-                        ActivityTimeline::for_section(&section, &passes).total_active_hours();
+                    let active = corridor_core::energy::active_hours(params, section);
                     let wh_day =
                         corridor_power::DutyCycle::over_day(active, corridor_units::Hours::ZERO)
                             .daily_energy(params.lp_node())

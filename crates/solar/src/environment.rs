@@ -1,0 +1,215 @@
+//! Cached per-seed weather environments.
+//!
+//! A sizing search simulates the *same* weather year through many
+//! candidate PV/battery configurations, and a sweep repeats that search
+//! for every grid cell sharing a location. The expensive part of a
+//! simulated year — the seeded daily clearness draw, the clear-sky
+//! integration and 8760 plane-of-array transpositions — depends only on
+//! the site, the mounting and the weather parameters, never on the
+//! candidate hardware. This module computes that environment once per
+//! `(site, mounting, weather, seed)` key and shares it process-wide, so
+//! every candidate year after the first is just battery stepping.
+//!
+//! The cached arrays are produced by exactly the arithmetic the direct
+//! simulation used to run inline, in the same order, so consuming the
+//! cache is bit-identical to recomputing (pinned by the tests below).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::{ClearSky, Location, OffGridSystem, SolarGeometry, Transposition, WeatherGenerator};
+
+/// One precomputed weather year at a site and mounting: every
+/// environmental input of [`OffGridSystem::simulate_year`] that does not
+/// depend on the candidate PV array, battery or load.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EnvironmentYear {
+    /// Ambient temperature per day of year (°C), January 1st first.
+    pub ambient: Vec<f64>,
+    /// Plane-of-array irradiance (W/m²) per hour of year, day-major:
+    /// `poa[day * 24 + hour]` for `day` in `0..365`, `hour` in `0..24`.
+    pub poa: Vec<f64>,
+}
+
+/// The full set of inputs the environment arrays depend on, compared by
+/// bits so distinct floats never alias (and NaN parameters simply hash
+/// to their payload instead of poisoning lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EnvKey {
+    name: &'static str,
+    seed: u64,
+    bits: [u64; 31],
+}
+
+impl EnvKey {
+    fn new(
+        location: &Location,
+        transposition: &Transposition,
+        variability: f64,
+        persistence: f64,
+        seed: u64,
+    ) -> Self {
+        let mut bits = [0u64; 31];
+        let mut at = 0;
+        let mut push = |value: f64| {
+            bits[at] = value.to_bits();
+            at += 1;
+        };
+        push(location.latitude_deg());
+        for &ghi in location.monthly_ghi_kwh_m2_day() {
+            push(ghi);
+        }
+        for &temp in location.monthly_temp_c() {
+            push(temp);
+        }
+        push(location.overcast_persistence());
+        push(variability);
+        push(persistence);
+        push(transposition.tilt_deg());
+        push(transposition.plane_azimuth_deg());
+        push(transposition.ground_albedo());
+        EnvKey {
+            name: location.name(),
+            seed,
+            bits,
+        }
+    }
+}
+
+/// One slot per key, so a long environment computation never holds the
+/// map lock: lookups of *other* keys proceed while the first caller of
+/// this key fills the `OnceLock`.
+type Slot = Arc<OnceLock<Arc<EnvironmentYear>>>;
+
+fn cache() -> &'static Mutex<HashMap<EnvKey, Slot>> {
+    static CACHE: OnceLock<Mutex<HashMap<EnvKey, Slot>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the shared environment year for the given inputs, computing
+/// it on first use.
+pub(crate) fn cached_year(
+    location: &Location,
+    transposition: &Transposition,
+    variability: f64,
+    persistence: f64,
+    seed: u64,
+) -> Arc<EnvironmentYear> {
+    let key = EnvKey::new(location, transposition, variability, persistence, seed);
+    let slot = {
+        let mut map = cache().lock().unwrap_or_else(PoisonError::into_inner);
+        map.entry(key).or_default().clone()
+    };
+    slot.get_or_init(|| {
+        Arc::new(compute_year(
+            location,
+            transposition,
+            variability,
+            persistence,
+            seed,
+        ))
+    })
+    .clone()
+}
+
+/// The environment computation, replicating the exact operation order
+/// the year simulation used to run inline — same clear-sky floor, same
+/// clearness clamp, same half-hour solar time — so cached and direct
+/// values are bit-identical.
+fn compute_year(
+    location: &Location,
+    transposition: &Transposition,
+    variability: f64,
+    persistence: f64,
+    seed: u64,
+) -> EnvironmentYear {
+    let clear_sky = ClearSky::new(SolarGeometry::at_latitude(location.latitude_deg()));
+    let mut weather = WeatherGenerator::new(location.clone(), seed)
+        .with_variability(variability)
+        .with_persistence(persistence);
+    let multipliers = weather.daily_multipliers_for_year();
+
+    let mut ambient = vec![0.0; 365];
+    let mut poa = vec![0.0; 365 * 24];
+    for doy in 1..=365u32 {
+        let day = (doy - 1) as usize;
+        let clear_daily = clear_sky.daily_ghi_wh_m2(doy).max(1.0);
+        let target_daily = location.ghi_for_doy_wh_m2(doy) * multipliers[day];
+        let kt = (target_daily / clear_daily)
+            .clamp(OffGridSystem::KT_RANGE.0, OffGridSystem::KT_RANGE.1);
+        ambient[day] = location.temp_for_doy(doy);
+        for hour in 0..24usize {
+            poa[day * 24 + hour] = transposition.poa_w_m2(doy, hour as f64 + 0.5, kt);
+        }
+    }
+    EnvironmentYear { ambient, poa }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::climate;
+
+    fn vertical(location: &Location) -> Transposition {
+        Transposition::vertical_south(SolarGeometry::at_latitude(location.latitude_deg()))
+    }
+
+    #[test]
+    fn cached_year_is_bit_identical_to_a_fresh_computation() {
+        let location = climate::berlin();
+        let plane = vertical(&location);
+        let cached = cached_year(&location, &plane, 0.95, 0.84, 7);
+        let fresh = compute_year(&location, &plane, 0.95, 0.84, 7);
+        assert_eq!(cached.ambient.len(), 365);
+        assert_eq!(cached.poa.len(), 365 * 24);
+        for (a, b) in cached.ambient.iter().zip(&fresh.ambient) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in cached.poa.iter().zip(&fresh.poa) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn same_inputs_share_one_computation() {
+        let location = climate::madrid();
+        let plane = vertical(&location);
+        let first = cached_year(&location, &plane, 0.95, 0.60, 46);
+        let second = cached_year(&location, &plane, 0.95, 0.60, 46);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn distinct_seeds_and_sites_get_distinct_environments() {
+        let madrid = climate::madrid();
+        let berlin = climate::berlin();
+        let plane_m = vertical(&madrid);
+        let plane_b = vertical(&berlin);
+        let a = cached_year(&madrid, &plane_m, 0.95, 0.60, 7);
+        let b = cached_year(&madrid, &plane_m, 0.95, 0.60, 8);
+        let c = cached_year(&berlin, &plane_b, 0.95, 0.84, 7);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.poa, b.poa);
+        assert_ne!(a.poa, c.poa);
+    }
+
+    #[test]
+    fn mounting_and_albedo_are_part_of_the_key() {
+        let location = climate::lyon();
+        let vertical_plane = vertical(&location);
+        let tilted = Transposition::new(
+            SolarGeometry::at_latitude(location.latitude_deg()),
+            35.0,
+            0.0,
+        );
+        let snowy = vertical(&location).with_ground_albedo(0.7);
+        let a = cached_year(&location, &vertical_plane, 0.95, 0.65, 7);
+        let b = cached_year(&location, &tilted, 0.95, 0.65, 7);
+        let c = cached_year(&location, &snowy, 0.95, 0.65, 7);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        // identical weather, different projection
+        assert_ne!(a.poa, b.poa);
+        assert_eq!(a.ambient, b.ambient);
+    }
+}

@@ -44,6 +44,7 @@
 mod battery;
 mod clearsky;
 pub mod climate;
+mod environment;
 mod geometry;
 mod load;
 mod offgrid;

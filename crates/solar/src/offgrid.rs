@@ -5,8 +5,7 @@ use core::fmt;
 use corridor_units::WattHours;
 
 use crate::{
-    Battery, ClearSky, DailyLoadProfile, Location, PvArray, SolarGeometry, Transposition,
-    WeatherGenerator,
+    Battery, DailyLoadProfile, Location, PvArray, SolarGeometry, Transposition, WeatherGenerator,
 };
 
 /// Summary statistics of one simulated year, mirroring the PVGIS off-grid
@@ -116,7 +115,7 @@ pub struct OffGridSystem {
 
 impl OffGridSystem {
     /// Clearness floor/ceiling when converting daily GHI to an index.
-    const KT_RANGE: (f64, f64) = (0.03, 0.85);
+    pub(crate) const KT_RANGE: (f64, f64) = (0.03, 0.85);
 
     /// A system with the paper's mounting (vertical, south-facing) and the
     /// default weather variability.
@@ -174,12 +173,20 @@ impl OffGridSystem {
     ///
     /// The battery starts full on January 1st; the seed fully determines
     /// the weather, so results are reproducible.
+    ///
+    /// The candidate-independent environment (seeded clearness draws and
+    /// plane-of-array transposition) is computed once per
+    /// `(site, mounting, weather, seed)` and shared process-wide, so a
+    /// sizing search re-simulating the same weather year through many
+    /// PV/battery candidates pays only for the battery stepping.
     pub fn simulate_year(&self, seed: u64) -> YearStats {
-        let clear_sky = ClearSky::new(SolarGeometry::at_latitude(self.location.latitude_deg()));
-        let mut weather = WeatherGenerator::new(self.location.clone(), seed)
-            .with_variability(self.variability)
-            .with_persistence(self.persistence);
-        let multipliers = weather.daily_multipliers_for_year();
+        let env = crate::environment::cached_year(
+            &self.location,
+            &self.transposition,
+            self.variability,
+            self.persistence,
+            seed,
+        );
         let mut battery = self.battery;
         battery.reset_full();
 
@@ -194,17 +201,13 @@ impl OffGridSystem {
             min_soc_fraction: 1.0,
         };
 
-        for doy in 1..=365u32 {
-            let clear_daily = clear_sky.daily_ghi_wh_m2(doy).max(1.0);
-            let target_daily =
-                self.location.ghi_for_doy_wh_m2(doy) * multipliers[(doy - 1) as usize];
-            let kt = (target_daily / clear_daily).clamp(Self::KT_RANGE.0, Self::KT_RANGE.1);
-            let ambient = self.location.temp_for_doy(doy);
+        for day in 0..365usize {
+            let ambient = env.ambient[day];
 
             let mut full_today = false;
             let mut unmet_today = false;
             for hour in 0..24usize {
-                let poa = self.transposition.poa_w_m2(doy, hour as f64 + 0.5, kt);
+                let poa = env.poa[day * 24 + hour];
                 let generation = WattHours::new(self.pv.output_power_w(poa, ambient));
                 let load = self.load.energy_at_hour(hour);
                 let step = battery.step(generation, load);

@@ -73,6 +73,11 @@ impl Transposition {
         self.plane_azimuth_deg
     }
 
+    /// Ground albedo used for the reflected irradiance term.
+    pub fn ground_albedo(&self) -> f64 {
+        self.ground_albedo
+    }
+
     /// Erbs diffuse fraction of global irradiance at clearness `kt`.
     pub fn diffuse_fraction(kt: f64) -> f64 {
         let kt = kt.clamp(0.0, 1.0);
@@ -190,6 +195,8 @@ mod tests {
         let plane = vertical(40.4);
         assert_eq!(plane.tilt_deg(), 90.0);
         assert_eq!(plane.plane_azimuth_deg(), 0.0);
+        assert_eq!(plane.ground_albedo(), 0.2);
+        assert_eq!(plane.with_ground_albedo(0.7).ground_albedo(), 0.7);
     }
 
     #[test]

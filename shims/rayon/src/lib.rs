@@ -4,12 +4,14 @@
 //! The build environment is offline, so the real `rayon` cannot be fetched
 //! from crates.io. This shim keeps data-parallel call sites *runnable and
 //! genuinely parallel*: the terminal operations (`collect`, `for_each`,
-//! `sum`) fan the items out to scoped worker threads that pull work from a
-//! shared queue (dynamic load balancing, like rayon's work stealing at the
-//! granularity of one item) and reassemble the results **in input order**.
-//! Because each item is processed independently and results are re-ordered
-//! by index, a pipeline's output is byte-identical no matter how many
-//! worker threads execute it.
+//! `sum`) seed one work deque per scoped worker thread with a contiguous
+//! block of items; each worker drains its own deque LIFO and, when empty,
+//! steals the older half of another worker's deque (work stealing, like
+//! the real crate's scheduler) before reassembling the results **in input
+//! order**. Because each item is processed independently and results are
+//! re-ordered by index, a pipeline's output is byte-identical no matter
+//! how many worker threads execute it — a property the test suite pins
+//! under adversarial task-size skew.
 //!
 //! Differences from the real crate, by design:
 //!
@@ -145,8 +147,21 @@ impl ThreadPool {
     }
 }
 
-/// Maps `items` through `f` on `workers` threads pulling from a shared
-/// queue; results come back in input order.
+/// Locks a mutex, ignoring poisoning (a panicked worker's payload is
+/// re-raised at join time; its deque stays usable for the others).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Maps `items` through `f` on `workers` threads with per-worker
+/// work-stealing deques; results come back in input order.
+///
+/// Each worker's deque is seeded with a contiguous block of items. A
+/// worker drains its own deque from the back (LIFO); when it runs dry it
+/// scans the other deques and steals the older half of the first
+/// non-empty one. Deques only ever shrink, so a full scan finding
+/// nothing to steal is a safe termination condition. At most one deque
+/// lock is held at any moment, so workers can never deadlock.
 fn parallel_map<T, R, F>(items: Vec<T>, f: &F, workers: usize) -> Vec<R>
 where
     T: Send,
@@ -157,21 +172,43 @@ where
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let n = items.len();
+    let base = n / workers;
+    let extra = n % workers;
+    let mut deques: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(workers);
+    let mut seed = items.into_iter().enumerate();
+    for w in 0..workers {
+        let block = base + usize::from(w < extra);
+        deques.push(Mutex::new(seed.by_ref().take(block).collect()));
+    }
+    let deques = &deques;
     let mut indexed: Vec<(usize, R)> = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
-                        let job = queue
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .pop_front();
-                        match job {
-                            Some((index, item)) => local.push((index, f(item))),
-                            None => break,
+                        if let Some((index, item)) = lock(&deques[w]).pop_back() {
+                            local.push((index, f(item)));
+                            continue;
                         }
+                        // own deque dry: steal the older half of the
+                        // first non-empty victim (collect outside the
+                        // victim's lock before touching our own)
+                        let mut stolen: Vec<(usize, T)> = Vec::new();
+                        for offset in 1..workers {
+                            let victim = &deques[(w + offset) % workers];
+                            let mut guard = lock(victim);
+                            let len = guard.len();
+                            if len > 0 {
+                                stolen.extend(guard.drain(..len - len / 2));
+                                break;
+                            }
+                        }
+                        if stolen.is_empty() {
+                            break;
+                        }
+                        lock(&deques[w]).extend(stolen);
                     }
                     local
                 })
