@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
+.PHONY: ci fmt-check clippy build test golden differential mc optimize serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
 
-ci: fmt-check clippy build test golden differential mc optimize doc quickstart bench-build bench-sweep bench-mc bench-optimize
+ci: fmt-check clippy build test golden differential mc optimize serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
 fmt-check:
 	cargo fmt --all --check
@@ -38,6 +38,31 @@ mc:
 optimize:
 	cargo run -q --release -p corridor_bench --bin optimize -- --smoke | diff - docs/results/optimize_smoke.txt
 	cargo test -q -p corridor_sim --test optimize
+
+# Streaming serve smoke: the sharded worker-process service answers the
+# committed requests with the committed byte stream (mixed-8 sweep in
+# both formats across 2 shards), plus the serve fault-injection suite.
+serve-smoke:
+	printf 'sweep grid=mixed-8 format=csv shards=2\nsweep grid=mixed-8 format=json shards=2\n' \
+		| cargo run -q --release -p corridor_bench --bin serve \
+		| diff - docs/results/serve_smoke.txt
+	cargo test -q --release -p corridor_bench --test serve
+
+# Cache determinism: the streamed bytes equal the in-memory writers'
+# (sha256-pinned) and a warm re-run is byte-identical at a 100 % hit
+# rate — engine suites plus an end-to-end cold/warm diff of the sweep
+# binary's --stream/--cache path.
+cache-determinism:
+	cargo test -q -p corridor_sim --test streaming_equivalence
+	cargo test -q -p corridor_sim --test result_cache
+	rm -rf target/tmp-cache-determinism
+	mkdir -p target/tmp-cache-determinism
+	cargo run -q --release -p corridor_bench --bin sweep -- --demo \
+		--stream target/tmp-cache-determinism/cold.csv --cache target/tmp-cache-determinism/cache
+	cargo run -q --release -p corridor_bench --bin sweep -- --demo \
+		--stream target/tmp-cache-determinism/warm.csv --cache target/tmp-cache-determinism/cache
+	cmp target/tmp-cache-determinism/cold.csv target/tmp-cache-determinism/warm.csv
+	rm -rf target/tmp-cache-determinism
 
 doc:
 	RUSTDOCFLAGS="$(RUSTDOCFLAGS_STRICT)" cargo doc --no-deps --workspace

@@ -1,0 +1,659 @@
+//! Long-running sweep service: reads grid specs from stdin, shards the
+//! cells across worker *processes*, and streams the result rows back on
+//! stdout in grid order — byte-identical to the in-memory writers.
+//!
+//! ```console
+//! $ echo "sweep grid=mixed-8 format=csv shards=2" \
+//!     | cargo run --release -p corridor_bench --bin serve
+//! ```
+//!
+//! # Request protocol (one request per stdin line)
+//!
+//! ```text
+//! sweep|mc|optimize grid=NAME format=csv|json [shards=N] [reps=N] [seed=N] [cache=DIR]
+//! ```
+//!
+//! `grid` is a named grid (`paper`, `smoke-3`, `mixed-8`,
+//! `screening-200`); `shards` is the worker-process count (default 2);
+//! `reps`/`seed` configure the Monte-Carlo replication plan (defaults 5
+//! and 7); `cache` points every worker at a shared scenario-hash
+//! [`ResultCache`] directory.
+//!
+//! # Response
+//!
+//! ```text
+//! BEGIN <engine> grid=<name> format=<fmt> cells=<n> shards=<n>
+//! <the exact bytes the engine's stream writer produces>
+//! END rows=<n> sha256=<hex> cache_hits=<n> cache_misses=<n>
+//! ```
+//!
+//! The payload between `BEGIN` and `END` is byte-identical to
+//! `SweepEngine::stream` (respectively `McEngine` / `DeploymentOptimizer`)
+//! writing into a sink, and the `sha256` trailer is the digest of those
+//! payload bytes — so a client can verify integrity without re-hashing
+//! upstream state. Diagnostics (worker deaths, retries) go to stderr.
+//!
+//! # Fault tolerance
+//!
+//! Cells are cut into chunks and dispatched to a pool of child processes
+//! (`serve --worker`) over a line protocol with length-prefixed row
+//! frames. A worker death mid-chunk is detected by the broken pipe /
+//! truncated frame stream; the coordinator respawns the child and
+//! re-dispatches the chunk (the rows are deterministic, so a retry
+//! reproduces them exactly). Setting `CORRIDOR_SERVE_CRASH_CELL=<index>`
+//! makes the *first* attempt at the chunk holding that cell kill its
+//! worker mid-shard — the fault-injection hook the serve tests use.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use corridor_core::hash::Sha256;
+use corridor_core::sink::{RowEmitter, RowFormat};
+use corridor_sim::{
+    DeploymentOptimizer, McEngine, ReplicationPlan, ResultCache, ScenarioGrid, SearchSpace,
+    StreamError, SweepEngine, CSV_HEADER, MC_CSV_HEADER, OPTIMIZE_CSV_HEADER,
+};
+
+/// Cells per dispatched chunk: small enough that a retry is cheap and
+/// the in-flight buffer stays bounded, large enough to amortize the
+/// frame protocol.
+const CHUNK_CELLS: usize = 64;
+
+/// Attempts per chunk before the request is declared failed.
+const MAX_ATTEMPTS: u32 = 3;
+
+const USAGE: &str = "\
+usage: serve [--worker]
+
+Coordinator mode (default): reads one request per stdin line —
+  sweep|mc|optimize grid=NAME format=csv|json [shards=N] [reps=N] [seed=N] [cache=DIR]
+— and streams the rows back on stdout between BEGIN/END markers.
+
+--worker is the internal child-process mode the coordinator spawns;
+it is not meant to be invoked by hand.
+";
+
+/// Which engine a request drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineKind {
+    Sweep,
+    Mc,
+    Optimize,
+}
+
+impl EngineKind {
+    fn label(self) -> &'static str {
+        match self {
+            EngineKind::Sweep => "sweep",
+            EngineKind::Mc => "mc",
+            EngineKind::Optimize => "optimize",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "sweep" => Some(EngineKind::Sweep),
+            "mc" => Some(EngineKind::Mc),
+            "optimize" => Some(EngineKind::Optimize),
+            _ => None,
+        }
+    }
+
+    fn csv_header(self) -> &'static str {
+        match self {
+            EngineKind::Sweep => CSV_HEADER,
+            EngineKind::Mc => MC_CSV_HEADER,
+            EngineKind::Optimize => OPTIMIZE_CSV_HEADER,
+        }
+    }
+}
+
+/// One parsed request (shared between coordinator and worker: the task
+/// lines the coordinator sends are requests plus a cell range).
+#[derive(Debug, Clone)]
+struct Request {
+    engine: EngineKind,
+    grid: String,
+    format: RowFormat,
+    shards: usize,
+    replications: usize,
+    master_seed: u64,
+    cache: Option<String>,
+}
+
+impl Request {
+    fn parse(line: &str) -> Result<Request, String> {
+        let mut words = line.split_whitespace();
+        let engine = words
+            .next()
+            .and_then(EngineKind::from_label)
+            .ok_or("request must start with sweep|mc|optimize")?;
+        let mut request = Request {
+            engine,
+            grid: "mixed-8".to_owned(),
+            format: RowFormat::Csv,
+            shards: 2,
+            replications: 5,
+            master_seed: 7,
+            cache: None,
+        };
+        for word in words {
+            let (key, value) = word
+                .split_once('=')
+                .ok_or_else(|| format!("malformed field {word:?} (expected key=value)"))?;
+            match key {
+                "grid" => request.grid = value.to_owned(),
+                "format" => {
+                    request.format = RowFormat::from_label(value)
+                        .ok_or_else(|| format!("unknown format {value:?}"))?;
+                }
+                "shards" => {
+                    request.shards = value.parse().map_err(|e| format!("shards: {e}"))?;
+                    if request.shards == 0 {
+                        return Err("shards must be at least 1".into());
+                    }
+                }
+                "reps" => request.replications = value.parse().map_err(|e| format!("reps: {e}"))?,
+                "seed" => request.master_seed = value.parse().map_err(|e| format!("seed: {e}"))?,
+                "cache" => request.cache = Some(value.to_owned()),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(request)
+    }
+
+    /// The task line dispatched to a worker for one chunk.
+    fn task_line(&self, range: &std::ops::Range<usize>, crash: Option<usize>) -> String {
+        let mut line = format!(
+            "task {} grid={} format={} range={}:{} reps={} seed={}",
+            self.engine.label(),
+            self.grid,
+            self.format.label(),
+            range.start,
+            range.end,
+            self.replications,
+            self.master_seed,
+        );
+        if let Some(dir) = &self.cache {
+            line.push_str(&format!(" cache={dir}"));
+        }
+        if let Some(cell) = crash {
+            line.push_str(&format!(" crash={cell}"));
+        }
+        line
+    }
+
+    fn resolve_grid(&self) -> Result<ScenarioGrid, String> {
+        ScenarioGrid::by_name(&self.grid).ok_or_else(|| format!("unknown grid {:?}", self.grid))
+    }
+}
+
+/// The fixed search space the `optimize` engine serves: the quick
+/// variant the optimizer determinism suite pins (0–6 repeaters at the
+/// default ISD resolution).
+fn serve_search_space() -> SearchSpace {
+    SearchSpace::new().node_counts((0..=6).collect())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match args.as_slice() {
+        [] => coordinator_main(),
+        ["--worker"] => worker_main(),
+        ["--help"] | ["-h"] => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("serve: unknown arguments\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// A chunk's rows as returned by one worker, keyed for in-order release.
+struct ChunkResult {
+    chunk: usize,
+    rows: Vec<Vec<u8>>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn coordinator_main() -> ExitCode {
+    let stdin = io::stdin();
+    let mut failed = false;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(error) => {
+                eprintln!("serve: stdin: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match Request::parse(trimmed) {
+            Ok(request) => {
+                if let Err(error) = serve_request(&request) {
+                    // the protocol stays parseable: an ERROR line instead
+                    // of an END trailer tells the client the stream is void
+                    println!("ERROR {error}");
+                    eprintln!("serve: {error}");
+                    failed = true;
+                }
+            }
+            Err(error) => {
+                println!("ERROR bad request: {error}");
+                eprintln!("serve: bad request: {error}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn serve_request(request: &Request) -> Result<(), String> {
+    let grid = request.resolve_grid()?;
+    let cells = grid.len();
+    // small grids still split across every shard; large grids cap the
+    // chunk so a retry never re-evaluates more than CHUNK_CELLS cells
+    let chunk_cells = cells.div_ceil(request.shards).clamp(1, CHUNK_CELLS);
+    let chunks: Vec<std::ops::Range<usize>> = (0..cells.div_ceil(chunk_cells))
+        .map(|i| (i * chunk_cells)..((i + 1) * chunk_cells).min(cells))
+        .collect();
+    let crash_cell: Option<usize> = std::env::var("CORRIDOR_SERVE_CRASH_CELL")
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    println!(
+        "BEGIN {} grid={} format={} cells={} shards={}",
+        request.engine.label(),
+        request.grid,
+        request.format.label(),
+        cells,
+        request.shards,
+    );
+
+    let (sender, receiver) = mpsc::channel::<Result<ChunkResult, String>>();
+    let next_chunk = AtomicUsize::new(0);
+    let workers = request.shards.min(chunks.len()).max(1);
+
+    let summary = thread::scope(|scope| {
+        for _ in 0..workers {
+            let sender = sender.clone();
+            let (next_chunk, chunks) = (&next_chunk, &chunks);
+            scope.spawn(move || {
+                let mut worker = WorkerHandle::spawn();
+                loop {
+                    let index = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    let Some(range) = chunks.get(index) else {
+                        break;
+                    };
+                    let result =
+                        run_chunk_with_retry(&mut worker, request, index, range, crash_cell);
+                    let failed = result.is_err();
+                    if sender.send(result).is_err() || failed {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(sender);
+        emit_in_order(request, chunks.len(), &receiver)
+    })?;
+
+    println!(
+        "END rows={} sha256={} cache_hits={} cache_misses={}",
+        summary.rows, summary.sha256, summary.cache_hits, summary.cache_misses,
+    );
+    Ok(())
+}
+
+struct EmitSummary {
+    rows: u64,
+    sha256: String,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Releases buffered chunk results in chunk order through a
+/// [`RowEmitter`] writing to stdout, hashing the payload as it goes.
+fn emit_in_order(
+    request: &Request,
+    total_chunks: usize,
+    receiver: &mpsc::Receiver<Result<ChunkResult, String>>,
+) -> Result<EmitSummary, String> {
+    let stdout = io::stdout();
+    let mut sink = HashingSink {
+        out: io::BufWriter::new(stdout.lock()),
+        digest: Sha256::new(),
+    };
+    let mut emitter = RowEmitter::begin(&mut sink, request.format, request.engine.csv_header())
+        .map_err(|e| format!("stdout: {e}"))?;
+
+    let mut pending: BTreeMap<usize, ChunkResult> = BTreeMap::new();
+    let mut next = 0usize;
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    while next < total_chunks {
+        let result = receiver
+            .recv()
+            .map_err(|_| "worker pool hung up early".to_owned())?
+            .map_err(|e| format!("chunk failed: {e}"))?;
+        pending.insert(result.chunk, result);
+        while let Some(ready) = pending.remove(&next) {
+            for row in &ready.rows {
+                let text = std::str::from_utf8(row).map_err(|e| format!("bad row bytes: {e}"))?;
+                emitter.row(text).map_err(|e| format!("stdout: {e}"))?;
+            }
+            cache_hits += ready.cache_hits;
+            cache_misses += ready.cache_misses;
+            next += 1;
+        }
+    }
+    let rows = emitter.finish().map_err(|e| format!("stdout: {e}"))?;
+    sink.out.flush().map_err(|e| format!("stdout: {e}"))?;
+    Ok(EmitSummary {
+        rows,
+        sha256: sink.digest.finalize_hex(),
+        cache_hits,
+        cache_misses,
+    })
+}
+
+/// Writes to stdout while folding every byte into a SHA-256, so the END
+/// trailer can certify exactly what was sent.
+struct HashingSink<W: Write> {
+    out: W,
+    digest: Sha256,
+}
+
+impl<W: Write> corridor_core::sink::RowSink for HashingSink<W> {
+    fn write(&mut self, chunk: &str) -> corridor_core::sink::SinkResult<()> {
+        self.digest.update(chunk.as_bytes());
+        self.out
+            .write_all(chunk.as_bytes())
+            .map_err(corridor_core::sink::SinkError::Io)
+    }
+
+    fn finish(&mut self) -> corridor_core::sink::SinkResult<()> {
+        self.out.flush().map_err(corridor_core::sink::SinkError::Io)
+    }
+}
+
+/// One child worker process with line-buffered stdin and framed stdout.
+struct WorkerHandle {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerHandle {
+    fn spawn() -> io::Result<WorkerHandle> {
+        let exe = std::env::current_exe()?;
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(WorkerHandle {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs one chunk on the thread's worker, respawning the child and
+/// re-dispatching on any mid-chunk death, up to [`MAX_ATTEMPTS`].
+fn run_chunk_with_retry(
+    worker: &mut io::Result<WorkerHandle>,
+    request: &Request,
+    index: usize,
+    range: &std::ops::Range<usize>,
+    crash_cell: Option<usize>,
+) -> Result<ChunkResult, String> {
+    let mut last_error = String::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        // the injected fault fires on the first attempt only: the retry
+        // must succeed and reproduce the exact rows
+        let crash = crash_cell.filter(|cell| attempt == 1 && range.contains(cell));
+        let handle = match worker {
+            Ok(handle) => handle,
+            Err(error) => {
+                last_error = format!("cannot spawn worker: {error}");
+                *worker = WorkerHandle::spawn();
+                continue;
+            }
+        };
+        match run_chunk(handle, request, index, range, crash) {
+            Ok(result) => return Ok(result),
+            Err(error) => {
+                eprintln!(
+                    "serve: chunk {index} (cells {}..{}) attempt {attempt} failed: {error}; \
+                     respawning worker and retrying",
+                    range.start, range.end,
+                );
+                last_error = error;
+                *worker = WorkerHandle::spawn();
+            }
+        }
+    }
+    Err(format!(
+        "chunk {index} failed after {MAX_ATTEMPTS} attempts: {last_error}"
+    ))
+}
+
+/// Dispatches one task line and reads the framed rows back.
+fn run_chunk(
+    worker: &mut WorkerHandle,
+    request: &Request,
+    index: usize,
+    range: &std::ops::Range<usize>,
+    crash: Option<usize>,
+) -> Result<ChunkResult, String> {
+    let task = request.task_line(range, crash);
+    writeln!(worker.stdin, "{task}").map_err(|e| format!("worker stdin: {e}"))?;
+    worker
+        .stdin
+        .flush()
+        .map_err(|e| format!("worker stdin: {e}"))?;
+
+    let mut rows = Vec::new();
+    let mut digest = Sha256::new();
+    loop {
+        let mut line = String::new();
+        let n = worker
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("worker stdout: {e}"))?;
+        if n == 0 {
+            return Err("worker died mid-chunk (eof)".into());
+        }
+        let line = line.trim_end_matches('\n');
+        if let Some(length) = line.strip_prefix("row ") {
+            let length: usize = length.parse().map_err(|e| format!("bad frame: {e}"))?;
+            let mut bytes = vec![0u8; length + 1];
+            worker
+                .stdout
+                .read_exact(&mut bytes)
+                .map_err(|_| "worker died mid-frame".to_owned())?;
+            if bytes.pop() != Some(b'\n') {
+                return Err("frame missing terminator".into());
+            }
+            digest.update(&bytes);
+            rows.push(bytes);
+        } else if let Some(trailer) = line.strip_prefix("done ") {
+            let (count, hits, misses, sha) = parse_done(trailer)?;
+            if count != rows.len() as u64 || sha != digest.finalize_hex() {
+                return Err("worker trailer does not match received frames".into());
+            }
+            return Ok(ChunkResult {
+                chunk: index,
+                rows,
+                cache_hits: hits,
+                cache_misses: misses,
+            });
+        } else if let Some(error) = line.strip_prefix("error ") {
+            return Err(format!("worker: {error}"));
+        } else {
+            return Err(format!("unexpected worker line {line:?}"));
+        }
+    }
+}
+
+fn parse_done(trailer: &str) -> Result<(u64, u64, u64, String), String> {
+    let (mut rows, mut hits, mut misses, mut sha) = (None, None, None, None);
+    for word in trailer.split_whitespace() {
+        match word.split_once('=') {
+            Some(("rows", v)) => rows = v.parse().ok(),
+            Some(("cache_hits", v)) => hits = v.parse().ok(),
+            Some(("cache_misses", v)) => misses = v.parse().ok(),
+            Some(("sha256", v)) => sha = Some(v.to_owned()),
+            _ => return Err(format!("bad done field {word:?}")),
+        }
+    }
+    match (rows, hits, misses, sha) {
+        (Some(r), Some(h), Some(m), Some(s)) => Ok((r, h, m, s)),
+        _ => Err("incomplete done trailer".into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+/// Child-process mode: evaluates task lines from the coordinator,
+/// streaming each chunk's rows back as length-prefixed frames.
+fn worker_main() -> ExitCode {
+    let stdin = io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return ExitCode::FAILURE,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Err(error) = run_task(trimmed) {
+            println!("error {error}");
+            let _ = io::stdout().flush();
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_task(line: &str) -> Result<(), String> {
+    let rest = line
+        .strip_prefix("task ")
+        .ok_or_else(|| format!("unexpected line {line:?}"))?;
+    let mut range = 0..0;
+    let mut crash = None;
+    let mut fields = Vec::new();
+    for word in rest.split_whitespace().skip(1) {
+        match word.split_once('=') {
+            Some(("range", value)) => {
+                let (a, b) = value.split_once(':').ok_or("range needs a:b")?;
+                range = a.parse().map_err(|e| format!("range: {e}"))?
+                    ..b.parse().map_err(|e| format!("range: {e}"))?;
+            }
+            Some(("crash", value)) => {
+                crash = Some(value.parse().map_err(|e| format!("crash: {e}"))?);
+            }
+            Some(("cache", _)) | Some(("grid", _)) | Some(("format", _)) | Some(("reps", _))
+            | Some(("seed", _)) => fields.push(word),
+            _ => return Err(format!("bad task field {word:?}")),
+        }
+    }
+    let engine = rest.split_whitespace().next().unwrap_or_default();
+    let request = Request::parse(&format!("{engine} {}", fields.join(" ")))?;
+    let grid = request.resolve_grid()?;
+    let cache = match &request.cache {
+        Some(dir) => Some(ResultCache::open(dir).map_err(|e| format!("cache {dir}: {e}"))?),
+        None => None,
+    };
+
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    let mut emitted = 0usize;
+    let mut digest = Sha256::new();
+    let mut emit = |row: &str| -> Result<(), StreamError> {
+        // the injected fault: die mid-shard right before this cell's row
+        if crash == Some(range.start + emitted) {
+            let _ = out.flush();
+            std::process::exit(101);
+        }
+        emitted += 1;
+        digest.update(row.as_bytes());
+        out.write_all(format!("row {}\n", row.len()).as_bytes())
+            .and_then(|()| out.write_all(row.as_bytes()))
+            .and_then(|()| out.write_all(b"\n"))
+            .map_err(|e| StreamError::Sink(corridor_core::sink::SinkError::Io(e)))
+    };
+
+    let summary = match request.engine {
+        EngineKind::Sweep => SweepEngine::new().workers(1).stream_rows(
+            &grid,
+            range.clone(),
+            request.format,
+            cache.as_ref(),
+            &mut emit,
+        ),
+        EngineKind::Mc => {
+            let plan = ReplicationPlan::new(request.replications).master_seed(request.master_seed);
+            McEngine::new().workers(1).stream_rows(
+                &grid,
+                &plan,
+                range.clone(),
+                request.format,
+                cache.as_ref(),
+                &mut emit,
+            )
+        }
+        EngineKind::Optimize => DeploymentOptimizer::new().workers(1).stream_rows(
+            &grid,
+            &serve_search_space(),
+            range.clone(),
+            request.format,
+            cache.as_ref(),
+            &mut emit,
+        ),
+    }
+    .map_err(|e| format!("{e}"))?;
+
+    writeln!(
+        out,
+        "done rows={} cache_hits={} cache_misses={} sha256={}",
+        summary.rows,
+        summary.cache_hits,
+        summary.cache_misses,
+        digest.finalize_hex(),
+    )
+    .and_then(|()| out.flush())
+    .map_err(|e| format!("stdout: {e}"))
+}

@@ -16,22 +16,27 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use corridor_core::report::TextTable;
+use corridor_core::sink::{RowFormat, WriteSink};
 use corridor_core::solar::climate;
 use corridor_core::EnergyStrategy;
-use corridor_sim::{PvOutcome, ScenarioGrid, SweepEngine};
+use corridor_sim::{PvOutcome, ResultCache, ScenarioGrid, SweepEngine};
 
 const USAGE: &str = "\
 usage: sweep [options]
 
 options:
-  --workers N   worker threads (default: machine parallelism; 1 = serial path)
-  --serial      run on the calling thread (reference path)
-  --nodes N     repeaters per segment, 0-10 (default 10)
-  --no-pv       skip the per-cell PV sizing (the expensive step)
-  --demo        8-cell demo grid instead of the 200-cell screening grid
-  --csv PATH    write the per-cell report as CSV
-  --json PATH   write the per-cell report as JSON
-  --help        this text
+  --workers N     worker threads (default: machine parallelism; 1 = serial path)
+  --serial        run on the calling thread (reference path)
+  --nodes N       repeaters per segment, 0-10 (default 10)
+  --no-pv         skip the per-cell PV sizing (the expensive step)
+  --demo          8-cell demo grid instead of the 200-cell screening grid
+  --csv PATH      write the per-cell report as CSV
+  --json PATH     write the per-cell report as JSON
+  --stream PATH   stream rows straight to PATH with flat memory (no report)
+  --format F      row format for --stream: csv (default) or json
+  --cache DIR     scenario-hash result cache for --stream: re-runs only
+                  recompute cells whose parameters changed
+  --help          this text
 ";
 
 struct Options {
@@ -42,6 +47,9 @@ struct Options {
     demo: bool,
     csv: Option<String>,
     json: Option<String>,
+    stream: Option<String>,
+    format: RowFormat,
+    cache: Option<String>,
 }
 
 fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
@@ -53,6 +61,9 @@ fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
         demo: false,
         csv: None,
         json: None,
+        stream: None,
+        format: RowFormat::Csv,
+        cache: None,
     };
     let _ = args.next(); // binary name
     while let Some(arg) = args.next() {
@@ -76,6 +87,13 @@ fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
             "--demo" => opts.demo = true,
             "--csv" => opts.csv = Some(value("--csv")?),
             "--json" => opts.json = Some(value("--json")?),
+            "--stream" => opts.stream = Some(value("--stream")?),
+            "--format" => {
+                let label = value("--format")?;
+                opts.format = RowFormat::from_label(&label)
+                    .ok_or(format!("--format must be csv or json, not {label:?}"))?;
+            }
+            "--cache" => opts.cache = Some(value("--cache")?),
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown option {other}")),
         }
@@ -127,6 +145,53 @@ fn main() -> ExitCode {
         if workers == 1 { "" } else { "s" },
         if opts.pv { "on" } else { "off" },
     );
+
+    if let Some(path) = &opts.stream {
+        // flat-memory path: rows go straight to the file, the full
+        // report never exists in memory
+        let cache = match &opts.cache {
+            Some(dir) => match ResultCache::open(dir) {
+                Ok(cache) => Some(cache),
+                Err(error) => {
+                    eprintln!("sweep: cannot open cache {dir}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let file = match std::fs::File::create(path) {
+            Ok(file) => file,
+            Err(error) => {
+                eprintln!("sweep: cannot create {path}: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut sink = WriteSink::new(std::io::BufWriter::new(file));
+        let started = Instant::now();
+        let summary = match engine.stream_with(&grid, opts.format, &mut sink, cache.as_ref()) {
+            Ok(summary) => summary,
+            Err(error) => {
+                eprintln!("sweep: streaming failed: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let elapsed = started.elapsed();
+        println!(
+            "streamed {} rows ({}) to {path} in {:.2} s",
+            summary.rows,
+            opts.format.label(),
+            elapsed.as_secs_f64(),
+        );
+        if opts.cache.is_some() {
+            println!(
+                "cache: {} hits, {} misses ({:.0} % warm)",
+                summary.cache_hits,
+                summary.cache_misses,
+                summary.hit_rate() * 100.0,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let started = Instant::now();
     let run = if opts.serial {

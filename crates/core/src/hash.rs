@@ -1,0 +1,243 @@
+//! Streaming SHA-256 (FIPS 180-4) for digest-pinned reports, cache
+//! entry checksums and the serve protocol's end-of-stream digests.
+//!
+//! The offline environment has no hashing crate to lean on, so the
+//! implementation lives here, shared by the determinism test layer
+//! (which pins report renderings), the scenario result cache (which
+//! checksums persisted entries) and the `serve` binary (which seals
+//! each response stream with a digest). The streaming [`Sha256`] state
+//! is O(1) in the hashed length — a million-row report can be digested
+//! without ever holding it in memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use corridor_core::hash::{sha256_hex, Sha256};
+//!
+//! // FIPS 180-4 test vector
+//! assert_eq!(
+//!     sha256_hex(b"abc"),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//!
+//! // incremental hashing is equivalent to one-shot hashing
+//! let mut h = Sha256::new();
+//! h.update(b"ab");
+//! h.update(b"c");
+//! assert_eq!(h.finalize_hex(), sha256_hex(b"abc"));
+//! ```
+
+use core::fmt::Write as _;
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 state. Feed bytes with [`Sha256::update`], seal
+/// with [`Sha256::finalize_hex`]; memory use is constant regardless of
+/// how many bytes pass through.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_bytes: u64,
+}
+
+impl Sha256 {
+    /// Fresh hash state (the FIPS 180-4 initial vector).
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_bytes += data.len() as u64;
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 64 {
+                return;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(64);
+        for block in chunks.by_ref() {
+            let mut buf = [0u8; 64];
+            buf.copy_from_slice(block);
+            self.compress(&buf);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Total bytes absorbed so far.
+    pub fn bytes_hashed(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Applies the final padding and returns the digest as 64 lowercase
+    /// hex characters.
+    pub fn finalize_hex(mut self) -> String {
+        let bit_len = self.total_bytes * 8;
+        self.update_padding();
+        let mut len_block = [0u8; 8];
+        len_block.copy_from_slice(&bit_len.to_be_bytes());
+        // after padding, exactly 8 bytes of space remain in the buffer
+        self.buf[56..64].copy_from_slice(&len_block);
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = String::with_capacity(64);
+        for word in self.state {
+            let _ = write!(out, "{word:08x}");
+        }
+        out
+    }
+
+    /// Appends the `0x80` marker and zero-pads to 56 bytes mod 64,
+    /// compressing an intermediate block if the marker overflows one.
+    fn update_padding(&mut self) {
+        self.buf[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            for b in &mut self.buf[self.buf_len + 1..] {
+                *b = 0;
+            }
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0; 64];
+        } else {
+            for b in &mut self.buf[self.buf_len + 1..56] {
+                *b = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        for (slot, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+}
+
+impl Default for Sha256 {
+    /// Returns [`Sha256::new`].
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+/// One-shot SHA-256 of `data`, as 64 lowercase hex characters.
+pub fn sha256_hex(data: &[u8]) -> String {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize_hex()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_180_4_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        // FIPS 180-4 long-message vector, fed in awkward chunk sizes to
+        // exercise every buffering path of the streaming state
+        let mut h = Sha256::new();
+        let data = [b'a'; 997];
+        let mut fed = 0usize;
+        while fed < 1_000_000 {
+            let take = (1_000_000 - fed).min(data.len());
+            h.update(&data[..take]);
+            fed += take;
+        }
+        assert_eq!(h.bytes_hashed(), 1_000_000);
+        assert_eq!(
+            h.finalize_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_block_boundaries() {
+        // lengths straddling the 55/56/64-byte padding edges
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let one_shot = sha256_hex(&data);
+            for split in [0, len / 3, len / 2, len] {
+                let mut h = Sha256::new();
+                h.update(&data[..split]);
+                h.update(&data[split..]);
+                assert_eq!(h.finalize_hex(), one_shot, "len={len} split={split}");
+            }
+        }
+    }
+}

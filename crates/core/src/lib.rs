@@ -20,7 +20,11 @@
 //! * [`stats`] — streaming Welford statistics (mean/stddev/Student-t
 //!   95 % CI) for Monte-Carlo replication sweeps;
 //! * [`pareto`] — multi-objective dominance helpers for the deployment
-//!   optimizer's frontier search.
+//!   optimizer's frontier search;
+//! * [`sink`] — streaming row sinks and format framing, so reports can
+//!   be emitted row by row with flat memory;
+//! * [`hash`] — streaming SHA-256 for digest-pinned reports, cache
+//!   entry checksums and the serve protocol.
 //!
 //! # Examples
 //!
@@ -42,9 +46,11 @@
 pub mod energy;
 mod evaluator;
 pub mod experiments;
+pub mod hash;
 pub mod pareto;
 pub mod report;
 mod scenario;
+pub mod sink;
 pub mod stats;
 mod strategy;
 
@@ -65,6 +71,10 @@ pub use corridor_units as units;
 pub mod prelude {
     pub use crate::energy::{self, SegmentEnergy};
     pub use crate::experiments;
+    pub use crate::hash::{sha256_hex, Sha256};
+    pub use crate::sink::{
+        DigestSink, RowEmitter, RowFormat, RowSink, SinkError, SinkResult, StringSink, WriteSink,
+    };
     pub use crate::stats::{SummaryStats, Welford};
     pub use crate::{
         AnalyticEvaluator, EnergyStrategy, ScenarioError, ScenarioParams, ScenarioParamsBuilder,

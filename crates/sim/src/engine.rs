@@ -1,6 +1,9 @@
 //! Serial and parallel sweep execution over pluggable energy backends.
 
+use core::ops::Range;
+
 use corridor_core::energy::SegmentEnergy;
+use corridor_core::sink::{RowEmitter, RowFormat, RowSink};
 use corridor_core::{AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
 use corridor_events::{EventDrivenEvaluator, WakePolicy};
 use corridor_solar::{sizing, DailyLoadProfile};
@@ -8,7 +11,14 @@ use corridor_traffic::TrackSection;
 use corridor_units::Watts;
 use rayon::prelude::*;
 
+use crate::cache::{KeyBuilder, ResultCache};
+use crate::report::{render_sweep_row, CSV_HEADER};
+use crate::stream::{self, ChunkRows, RowPair, StreamError, StreamSummary};
 use crate::{batch, CellResult, PvOutcome, ScenarioCell, ScenarioGrid, SweepReport};
+
+/// Cells per streaming work item — a whole number of SoA blocks, coarse
+/// enough to amortize scheduling, small enough to bound buffered rows.
+const STREAM_CHUNK: usize = 8 * batch::BLOCK;
 
 /// Which energy backend evaluates the cells.
 ///
@@ -218,6 +228,154 @@ impl SweepEngine {
                 .flat_map(|chunk| self.evaluate_block(chunk))
                 .collect(),
         ))
+    }
+
+    /// Streams the whole grid into `sink` in grid order without ever
+    /// materializing the report: memory stays flat however many cells
+    /// the grid spans, and the emitted bytes are identical to
+    /// [`SweepEngine::run`] + [`SweepReport::to_csv`] /
+    /// [`SweepReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepEngine::run`], plus
+    /// [`StreamError::Sink`] if the sink refuses a row.
+    pub fn stream(
+        &self,
+        grid: &ScenarioGrid,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamSummary, StreamError> {
+        self.stream_with(grid, format, sink, None)
+    }
+
+    /// [`SweepEngine::stream`] with an optional [`ResultCache`]: cells
+    /// whose scenario hash already has a stored row are emitted without
+    /// re-evaluation, and freshly computed rows are persisted.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepEngine::stream`].
+    pub fn stream_with(
+        &self,
+        grid: &ScenarioGrid,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+        cache: Option<&ResultCache>,
+    ) -> Result<StreamSummary, StreamError> {
+        let mut rows = RowEmitter::begin(sink, format, CSV_HEADER).map_err(StreamError::Sink)?;
+        let summary = self.stream_rows(grid, 0..grid.len(), format, cache, |row| {
+            rows.row(row).map_err(StreamError::Sink)
+        })?;
+        rows.finish().map_err(StreamError::Sink)?;
+        Ok(summary)
+    }
+
+    /// Streams the raw rows of a cell range to `emit`, without header or
+    /// framing — the building block the `serve` coordinator shards
+    /// across worker processes. Rows arrive in grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past the grid's length (a caller bug,
+    /// like any out-of-range index).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepEngine::stream`]; an `Err` from `emit`
+    /// cancels the remaining evaluation and is returned.
+    pub fn stream_rows(
+        &self,
+        grid: &ScenarioGrid,
+        range: Range<usize>,
+        format: RowFormat,
+        cache: Option<&ResultCache>,
+        mut emit: impl FnMut(&str) -> Result<(), StreamError>,
+    ) -> Result<StreamSummary, StreamError> {
+        let workers = stream::resolve_workers(self.workers)?;
+        let chunks = stream::chunked_ranges(range, STREAM_CHUNK);
+        stream::drive(
+            workers,
+            chunks,
+            format,
+            |chunk| self.stream_chunk(grid, chunk, cache),
+            &mut emit,
+        )
+    }
+
+    /// Evaluates one chunk of cells for the streaming path: probe the
+    /// cache per cell, evaluate the misses in SoA blocks (bit-identical
+    /// to the in-memory path's blocking), render and store their rows.
+    fn stream_chunk(
+        &self,
+        grid: &ScenarioGrid,
+        range: Range<usize>,
+        cache: Option<&ResultCache>,
+    ) -> Result<ChunkRows, ScenarioError> {
+        let mut rows: Vec<Option<RowPair>> = Vec::with_capacity(range.len());
+        let mut pending_cells: Vec<ScenarioCell> = Vec::new();
+        let mut pending_slots: Vec<(usize, String)> = Vec::new();
+        let mut cache_hits = 0u64;
+        for index in range {
+            let cell = grid.cell_at(index)?;
+            let key = match cache {
+                Some(store) => {
+                    let key = self.cache_key(&cell);
+                    if let Some(pair) = store.load(&key) {
+                        rows.push(Some(pair));
+                        cache_hits += 1;
+                        continue;
+                    }
+                    key
+                }
+                None => String::new(),
+            };
+            pending_slots.push((rows.len(), key));
+            pending_cells.push(cell);
+            rows.push(None);
+        }
+        let cache_misses = if cache.is_some() {
+            pending_cells.len() as u64
+        } else {
+            0
+        };
+        for (cells, slots) in pending_cells
+            .chunks(batch::BLOCK)
+            .zip(pending_slots.chunks(batch::BLOCK))
+        {
+            for ((slot, key), result) in slots.iter().zip(self.evaluate_block(cells)) {
+                let pair = RowPair {
+                    csv: render_sweep_row(&result, RowFormat::Csv),
+                    json: render_sweep_row(&result, RowFormat::Json),
+                };
+                if let Some(store) = cache {
+                    store.store(key, &pair);
+                }
+                rows[*slot] = Some(pair);
+            }
+        }
+        Ok(ChunkRows {
+            rows: rows
+                .into_iter()
+                .map(|r| r.expect("every chunk slot is filled"))
+                .collect(),
+            cache_hits,
+            cache_misses,
+        })
+    }
+
+    /// The scenario hash of one cell under this engine's configuration.
+    fn cache_key(&self, cell: &ScenarioCell) -> String {
+        let mut key = KeyBuilder::new("sweep");
+        key.text("evaluator", self.evaluator.name());
+        if let Evaluator::EventDriven(policy) = self.evaluator {
+            key.f64("lead", policy.lead().value())
+                .f64("wake", policy.wake_delay().value())
+                .f64("guard", policy.guard().value());
+        }
+        key.int("pv", u64::from(self.pv_sizing));
+        key.cell(cell);
+        key.finish()
     }
 
     /// Evaluates one cell.

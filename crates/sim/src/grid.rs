@@ -295,6 +295,65 @@ impl ScenarioGrid {
         self.nodes
     }
 
+    /// Builds the single cell at `index` without materializing the rest
+    /// of the grid: the mixed-radix decomposition of `index` along the
+    /// documented axis order (timetable density outermost, climate
+    /// innermost). The streaming engines and the serve shards construct
+    /// their cells lazily through this accessor, so a million-cell study
+    /// holds one cell at a time; [`ScenarioGrid::expand`] is implemented
+    /// on top of it, so there is exactly one construction path and the
+    /// two can never disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] of the cell whose parameters fail
+    /// validation (e.g. a zero spacing or an empty timetable on some
+    /// axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()` — an out-of-range index is a
+    /// caller bug, not a scenario property.
+    pub fn cell_at(&self, index: usize) -> Result<ScenarioCell, ScenarioError> {
+        assert!(
+            index < self.len(),
+            "cell index {index} out of range for a {}-cell grid",
+            self.len()
+        );
+        // peel axes off innermost-first: the inverse of expand's loops
+        let mut rest = index;
+        let mut take = |len: usize| {
+            let at = rest % len;
+            rest /= len;
+            at
+        };
+        let location = &self.locations[take(self.locations.len())];
+        let profile = &self.power_profiles[take(self.power_profiles.len())];
+        let conv_isd = self.conventional_isds_m[take(self.conventional_isds_m.len())];
+        let spacing = self.lp_spacings_m[take(self.lp_spacings_m.len())];
+        let length = self.train_lengths_m[take(self.train_lengths_m.len())];
+        let speed = self.train_speeds_kmh[take(self.train_speeds_kmh.len())];
+        let tph = self.trains_per_hour[rest];
+        let params = ScenarioParams::builder()
+            .trains_per_hour(tph)
+            .service_window_h(self.service_window_h)
+            .train_speed_kmh(speed)
+            .train_length_m(length)
+            .lp_spacing_m(spacing)
+            .conventional_isd_m(conv_isd)
+            .hp_mast(*profile.hp())
+            .lp_node(*profile.lp())
+            .build()?;
+        Ok(ScenarioCell::new(
+            index,
+            params,
+            location.clone(),
+            profile.name().to_owned(),
+            self.nodes,
+            self.isd,
+        ))
+    }
+
     /// Expands the grid into its cells, in the fixed axis order.
     ///
     /// # Errors
@@ -303,41 +362,24 @@ impl ScenarioGrid {
     /// fail validation (e.g. a zero spacing or an empty timetable on some
     /// axis).
     pub fn expand(&self) -> Result<Vec<ScenarioCell>, ScenarioError> {
-        let isd = self.isd;
-        let mut cells = Vec::with_capacity(self.len());
-        for &tph in &self.trains_per_hour {
-            for &speed in &self.train_speeds_kmh {
-                for &length in &self.train_lengths_m {
-                    for &spacing in &self.lp_spacings_m {
-                        for &conv_isd in &self.conventional_isds_m {
-                            for profile in &self.power_profiles {
-                                for location in &self.locations {
-                                    let params = ScenarioParams::builder()
-                                        .trains_per_hour(tph)
-                                        .service_window_h(self.service_window_h)
-                                        .train_speed_kmh(speed)
-                                        .train_length_m(length)
-                                        .lp_spacing_m(spacing)
-                                        .conventional_isd_m(conv_isd)
-                                        .hp_mast(*profile.hp())
-                                        .lp_node(*profile.lp())
-                                        .build()?;
-                                    cells.push(ScenarioCell::new(
-                                        cells.len(),
-                                        params,
-                                        location.clone(),
-                                        profile.name().to_owned(),
-                                        self.nodes,
-                                        isd,
-                                    ));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+        (0..self.len()).map(|index| self.cell_at(index)).collect()
+    }
+
+    /// Resolves the grid names shared by the CLI binaries and the serve
+    /// protocol's `grid=` parameter; `None` for an unknown name.
+    pub fn by_name(name: &str) -> Option<ScenarioGrid> {
+        match name {
+            "paper" => Some(ScenarioGrid::new()),
+            "smoke-3" => Some(ScenarioGrid::smoke_3()),
+            "mixed-8" => Some(
+                ScenarioGrid::new()
+                    .trains_per_hour(vec![4.0, 8.0])
+                    .train_speeds_kmh(vec![160.0, 200.0])
+                    .locations(vec![climate::madrid(), climate::berlin()]),
+            ),
+            "screening-200" => Some(ScenarioGrid::screening_200()),
+            _ => None,
         }
-        Ok(cells)
     }
 
     /// The deployment ISD every cell is evaluated at.
@@ -443,6 +485,38 @@ mod tests {
             PowerProfile::custom("flat", catalog::high_power_mast(), catalog::onboard_relay());
         assert_eq!(custom.name(), "flat");
         assert_eq!(custom.lp().p0().value(), 650.0);
+    }
+
+    #[test]
+    fn cell_at_agrees_with_expand_on_an_uneven_grid() {
+        // deliberately unequal axis lengths so a radix mix-up cannot
+        // cancel out
+        let grid = ScenarioGrid::new()
+            .trains_per_hour(vec![2.0, 6.0, 10.0])
+            .train_speeds_kmh(vec![160.0, 250.0])
+            .lp_spacings_m(vec![150.0, 200.0, 300.0, 350.0])
+            .power_profiles(vec![PowerProfile::paper(), PowerProfile::earth_fit()])
+            .locations(vec![climate::madrid(), climate::berlin(), climate::lyon()]);
+        let cells = grid.expand().unwrap();
+        assert_eq!(cells.len(), grid.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(&grid.cell_at(i).unwrap(), cell, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_at_rejects_out_of_range_indices() {
+        let _ = ScenarioGrid::new().cell_at(1);
+    }
+
+    #[test]
+    fn named_grids_resolve() {
+        assert_eq!(ScenarioGrid::by_name("paper").unwrap().len(), 1);
+        assert_eq!(ScenarioGrid::by_name("smoke-3").unwrap().len(), 3);
+        assert_eq!(ScenarioGrid::by_name("mixed-8").unwrap().len(), 8);
+        assert_eq!(ScenarioGrid::by_name("screening-200").unwrap().len(), 200);
+        assert!(ScenarioGrid::by_name("nope").is_none());
     }
 
     #[test]

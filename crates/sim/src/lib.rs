@@ -58,13 +58,16 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
 mod cell;
 mod engine;
 mod grid;
 mod mc;
 mod optimize;
 mod report;
+mod stream;
 
+pub use cache::ResultCache;
 pub use cell::{CellResult, PvOutcome, ScenarioCell};
 pub use engine::{Evaluator, SweepEngine};
 pub use grid::{PowerProfile, ScenarioGrid};
@@ -76,5 +79,6 @@ pub use optimize::{
     SearchSpace, OPTIMIZE_CSV_HEADER,
 };
 pub use report::{SweepReport, CSV_HEADER};
+pub use stream::{StreamError, StreamSummary};
 
 pub use corridor_events::WakePolicy;

@@ -15,6 +15,7 @@
 //! rendered by deterministic CSV/JSON writers that are byte-identical
 //! regardless of worker count.
 
+use corridor_core::sink::{RowEmitter, RowFormat, RowSink, SinkResult, StringSink};
 use corridor_core::stats::{SummaryStats, Welford};
 use corridor_core::{EnergyStrategy, ScenarioError};
 use corridor_events::{EventDrivenEvaluator, NodeKind, SegmentReplicator, WakePolicy};
@@ -26,7 +27,9 @@ use core::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use crate::cache::{KeyBuilder, ResultCache};
 use crate::report::{csv_field, json_string};
+use crate::stream::{self, ChunkRows, RowPair, StreamError, StreamSummary};
 use crate::{ScenarioCell, ScenarioGrid};
 
 /// Which stochastic traffic pattern every replication samples, applied
@@ -380,6 +383,137 @@ impl McEngine {
         Ok(Self::fold(contexts, samples, plan))
     }
 
+    /// Streams the whole grid into `sink` in grid order without
+    /// materializing the report; the emitted bytes are identical to
+    /// [`McEngine::run`] + [`McReport::to_csv`] / [`McReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`McEngine::run`], plus
+    /// [`StreamError::Sink`] if the sink refuses a row.
+    pub fn stream(
+        &self,
+        grid: &ScenarioGrid,
+        plan: &ReplicationPlan,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamSummary, StreamError> {
+        self.stream_with(grid, plan, format, sink, None)
+    }
+
+    /// [`McEngine::stream`] with an optional [`ResultCache`] keyed by
+    /// the scenario hash, the plan (traffic, replications, master seed)
+    /// and the wake policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`McEngine::stream`].
+    pub fn stream_with(
+        &self,
+        grid: &ScenarioGrid,
+        plan: &ReplicationPlan,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+        cache: Option<&ResultCache>,
+    ) -> Result<StreamSummary, StreamError> {
+        let mut rows = RowEmitter::begin(sink, format, MC_CSV_HEADER).map_err(StreamError::Sink)?;
+        let summary = self.stream_rows(grid, plan, 0..grid.len(), format, cache, |row| {
+            rows.row(row).map_err(StreamError::Sink)
+        })?;
+        rows.finish().map_err(StreamError::Sink)?;
+        Ok(summary)
+    }
+
+    /// Streams the raw rows of a cell range to `emit`, without header or
+    /// framing (the `serve` shard primitive). One work item is one cell:
+    /// its replications are sampled in plan order on a single worker, so
+    /// the folded statistics are bit-identical to the in-memory path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past the grid's length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`McEngine::stream`]; an `Err` from `emit`
+    /// cancels the remaining evaluation and is returned.
+    pub fn stream_rows(
+        &self,
+        grid: &ScenarioGrid,
+        plan: &ReplicationPlan,
+        range: core::ops::Range<usize>,
+        format: RowFormat,
+        cache: Option<&ResultCache>,
+        mut emit: impl FnMut(&str) -> Result<(), StreamError>,
+    ) -> Result<StreamSummary, StreamError> {
+        let workers = stream::resolve_workers(self.workers)?;
+        stream::drive(
+            workers,
+            range,
+            format,
+            |index| self.stream_cell(grid, plan, index, cache),
+            &mut emit,
+        )
+    }
+
+    /// Evaluates (or loads) one cell for the streaming path.
+    fn stream_cell(
+        &self,
+        grid: &ScenarioGrid,
+        plan: &ReplicationPlan,
+        index: usize,
+        cache: Option<&ResultCache>,
+    ) -> Result<ChunkRows, ScenarioError> {
+        let cell = grid.cell_at(index)?;
+        let key = match cache {
+            Some(store) => {
+                let key = self.cache_key(&cell, plan);
+                if let Some(pair) = store.load(&key) {
+                    return Ok(ChunkRows {
+                        rows: vec![pair],
+                        cache_hits: 1,
+                        cache_misses: 0,
+                    });
+                }
+                key
+            }
+            None => String::new(),
+        };
+        let result = evaluate_mc_cell(cell, plan, self.policy);
+        let traffic = plan.traffic_spec().label();
+        let (reps, seed) = (plan.replications(), plan.seeds().master());
+        let pair = RowPair {
+            csv: render_mc_row(&result, traffic, reps, seed, RowFormat::Csv),
+            json: render_mc_row(&result, traffic, reps, seed, RowFormat::Json),
+        };
+        if let Some(store) = cache {
+            store.store(&key, &pair);
+        }
+        Ok(ChunkRows {
+            rows: vec![pair],
+            cache_hits: 0,
+            cache_misses: u64::from(cache.is_some()),
+        })
+    }
+
+    /// The scenario hash of one cell under this engine and plan.
+    fn cache_key(&self, cell: &ScenarioCell, plan: &ReplicationPlan) -> String {
+        let mut key = KeyBuilder::new("mc");
+        key.text("traffic", plan.traffic_spec().label())
+            .int("reps", plan.replications() as u64)
+            .int("seed", plan.seeds().master())
+            .f64("lead", self.policy.lead().value())
+            .f64("wake", self.policy.wake_delay().value())
+            .f64("guard", self.policy.guard().value());
+        if let TrafficSpec::Jittered(model) = plan.traffic_spec() {
+            key.f64("jitter", model.jitter().value())
+                .f64("delay_p", model.delay_probability())
+                .f64("max_delay", model.max_delay().value());
+        }
+        key.cell(cell);
+        key.finish()
+    }
+
     /// Builds the per-cell contexts and the flat `(cell, seed)` work
     /// list, in deterministic `(cell, replication)` order.
     fn expand(
@@ -514,14 +648,102 @@ impl McReport {
         self.results.len() * self.replications
     }
 
+    /// Streams the report's rows into `sink` in grid order, returning
+    /// the row count; byte-identical to [`McReport::to_csv`] /
+    /// [`McReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`SinkError`](corridor_core::sink::SinkError).
+    pub fn stream_into(&self, format: RowFormat, sink: &mut dyn RowSink) -> SinkResult<u64> {
+        let mut rows = RowEmitter::begin(sink, format, MC_CSV_HEADER)?;
+        for r in &self.results {
+            rows.row(&render_mc_row(
+                r,
+                self.traffic,
+                self.replications,
+                self.master_seed,
+                format,
+            ))?;
+        }
+        rows.finish()
+    }
+
     /// Renders the report as CSV ([`MC_CSV_HEADER`] plus one line per
     /// cell).
     pub fn to_csv(&self) -> String {
-        let mut out = String::with_capacity(64 + 400 * self.results.len());
-        out.push_str(MC_CSV_HEADER);
-        out.push('\n');
-        for r in &self.results {
-            let c = r.cell();
+        let mut sink = StringSink::with_capacity(64 + 400 * self.results.len());
+        self.stream_into(RowFormat::Csv, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Renders the report as a JSON array of cell objects.
+    pub fn to_json(&self) -> String {
+        let mut sink = StringSink::with_capacity(64 + 700 * self.results.len());
+        self.stream_into(RowFormat::Json, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Writes [`McReport::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Writes [`McReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Evaluates one cell's whole replication set on the calling thread, in
+/// plan order — the same `(cell, replication)` ordering as the engine's
+/// flat work list, so the folded statistics are bit-identical to the
+/// in-memory path's for the same cell.
+pub(crate) fn evaluate_mc_cell(
+    cell: ScenarioCell,
+    plan: &ReplicationPlan,
+    policy: WakePolicy,
+) -> McCellResult {
+    let index = cell.index() as u64;
+    let context = CellContext::new(cell, plan.traffic_spec(), policy);
+    let mut accumulators = [Welford::new(); 5];
+    for seed in plan.seeds().cell_seeds(index, plan.replications()) {
+        let sample = context.sample_day(seed);
+        for (acc, value) in accumulators.iter_mut().zip(sample.values) {
+            acc.push(value);
+        }
+    }
+    McCellResult {
+        cell: context.cell,
+        stats: accumulators.map(|acc| acc.summary()),
+    }
+}
+
+/// Renders one cell's Monte-Carlo statistics as a report row. The plan
+/// metadata (`traffic`, `replications`, `master_seed`) rides along in
+/// every row, so a row renders identically whether it comes from an
+/// in-memory [`McReport`] or a streaming evaluation.
+pub(crate) fn render_mc_row(
+    r: &McCellResult,
+    traffic: &str,
+    replications: usize,
+    master_seed: u64,
+    format: RowFormat,
+) -> String {
+    let c = r.cell();
+    match format {
+        RowFormat::Csv => {
+            let mut out = String::with_capacity(400);
             let _ = write!(
                 out,
                 "{},{},{},{:.1},{},{},{},{},{},{},{:.0},{},{},{}",
@@ -536,9 +758,9 @@ impl McReport {
                 csv_field(c.location().name()),
                 c.nodes(),
                 c.isd().value(),
-                self.traffic,
-                self.replications,
-                self.master_seed,
+                traffic,
+                replications,
+                master_seed,
             );
             for metric in McMetric::ALL {
                 let s = r.stats(metric);
@@ -549,16 +771,10 @@ impl McReport {
                 );
             }
             out.push('\n');
+            out
         }
-        out
-    }
-
-    /// Renders the report as a JSON array of cell objects.
-    pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + 700 * self.results.len());
-        out.push_str("[\n");
-        for (i, r) in self.results.iter().enumerate() {
-            let c = r.cell();
+        RowFormat::Json => {
+            let mut out = String::with_capacity(700);
             out.push_str("  {");
             let _ = write!(
                 out,
@@ -578,9 +794,9 @@ impl McReport {
                 json_string(c.location().name()),
                 c.nodes(),
                 c.isd().value(),
-                json_string(self.traffic),
-                self.replications,
-                self.master_seed,
+                json_string(traffic),
+                replications,
+                master_seed,
             );
             for (j, metric) in McMetric::ALL.into_iter().enumerate() {
                 let s = r.stats(metric);
@@ -598,32 +814,8 @@ impl McReport {
                 );
             }
             out.push_str("}}");
-            out.push_str(if i + 1 < self.results.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+            out
         }
-        out.push_str("]\n");
-        out
-    }
-
-    /// Writes [`McReport::to_csv`] to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error.
-    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        std::fs::write(path, self.to_csv())
-    }
-
-    /// Writes [`McReport::to_json`] to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error.
-    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
     }
 }
 

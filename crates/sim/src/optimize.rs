@@ -26,8 +26,9 @@
 use core::fmt::Write as _;
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+use corridor_core::sink::{RowEmitter, RowFormat, RowSink, SinkResult, StringSink};
 use corridor_core::{pareto, AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
 use corridor_deploy::{CoverageCache, IsdTable, LinkBudget, SegmentInventory};
 use corridor_events::{EventDrivenEvaluator, NodeKind, WakePolicy};
@@ -35,8 +36,10 @@ use corridor_traffic::TrackSection;
 use corridor_units::{Db, Meters};
 use rayon::prelude::*;
 
+use crate::cache::{KeyBuilder, ResultCache};
 use crate::engine::{build_pool, size_repeater_pv_for_load};
 use crate::report::{csv_field, json_string};
+use crate::stream::{self, ChunkRows, RowPair, StreamError, StreamSummary};
 use crate::{PvOutcome, ScenarioCell, ScenarioGrid};
 
 /// How the ISD dimension of the search is resolved per repeater count.
@@ -367,6 +370,127 @@ impl DeploymentOptimizer {
         Ok(Self::fold(results, space, caches))
     }
 
+    /// Streams the whole grid into `sink` in grid order without
+    /// materializing the report; the emitted bytes are identical to
+    /// [`DeploymentOptimizer::run`] + [`OptimizeReport::to_csv`] /
+    /// [`OptimizeReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeploymentOptimizer::run`], plus
+    /// [`StreamError::Sink`] if the sink refuses a row.
+    pub fn stream(
+        &self,
+        grid: &ScenarioGrid,
+        space: &SearchSpace,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamSummary, StreamError> {
+        self.stream_with(grid, space, format, sink, None)
+    }
+
+    /// [`DeploymentOptimizer::stream`] with an optional [`ResultCache`]
+    /// keyed by the scenario hash and the whole search space (counts,
+    /// ISD mode, policies, threshold, sampling step, link budget).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeploymentOptimizer::stream`].
+    pub fn stream_with(
+        &self,
+        grid: &ScenarioGrid,
+        space: &SearchSpace,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+        cache: Option<&ResultCache>,
+    ) -> Result<StreamSummary, StreamError> {
+        let mut rows =
+            RowEmitter::begin(sink, format, OPTIMIZE_CSV_HEADER).map_err(StreamError::Sink)?;
+        let summary = self.stream_rows(grid, space, 0..grid.len(), format, cache, |row| {
+            rows.row(row).map_err(StreamError::Sink)
+        })?;
+        rows.finish().map_err(StreamError::Sink)?;
+        Ok(summary)
+    }
+
+    /// Streams the raw per-cell chunks of a cell range to `emit`,
+    /// without header or framing (the `serve` shard primitive). Workers
+    /// share one lazily built [`CoverageCache`] per distinct link
+    /// budget, exactly like the in-memory expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` reaches past the grid's length.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeploymentOptimizer::stream`]; an `Err`
+    /// from `emit` cancels the remaining evaluation and is returned.
+    pub fn stream_rows(
+        &self,
+        grid: &ScenarioGrid,
+        space: &SearchSpace,
+        range: core::ops::Range<usize>,
+        format: RowFormat,
+        cache: Option<&ResultCache>,
+        mut emit: impl FnMut(&str) -> Result<(), StreamError>,
+    ) -> Result<StreamSummary, StreamError> {
+        let workers = stream::resolve_workers(self.workers)?;
+        let coverage: Mutex<Vec<(LinkBudget, Arc<CoverageCache>)>> = Mutex::new(Vec::new());
+        stream::drive(
+            workers,
+            range,
+            format,
+            |index| {
+                let cell = grid.cell_at(index)?;
+                let key = match cache {
+                    Some(store) => {
+                        let key = cache_key(&cell, space);
+                        if let Some(pair) = store.load(&key) {
+                            return Ok(ChunkRows {
+                                rows: vec![pair],
+                                cache_hits: 1,
+                                cache_misses: 0,
+                            });
+                        }
+                        key
+                    }
+                    None => String::new(),
+                };
+                let shared = {
+                    let mut caches = coverage.lock().expect("coverage cache lock");
+                    let budget = cell.params().budget();
+                    match caches.iter().find(|(b, _)| b == budget) {
+                        Some((_, shared)) => Arc::clone(shared),
+                        None => {
+                            let shared = Arc::new(CoverageCache::with_sample_step(
+                                budget.clone(),
+                                space.sample_step,
+                            ));
+                            caches.push((budget.clone(), Arc::clone(&shared)));
+                            shared
+                        }
+                    }
+                };
+                let result = evaluate_cell(&cell, &shared, space);
+                let label = space.isd_search.label();
+                let pair = RowPair {
+                    csv: render_optimize_row(&result, label, RowFormat::Csv),
+                    json: render_optimize_row(&result, label, RowFormat::Json),
+                };
+                if let Some(store) = cache {
+                    store.store(&key, &pair);
+                }
+                Ok(ChunkRows {
+                    rows: vec![pair],
+                    cache_hits: 0,
+                    cache_misses: u64::from(cache.is_some()),
+                })
+            },
+            &mut emit,
+        )
+    }
+
     /// Expands the grid and pairs every cell with the shared coverage
     /// cache of its link budget (one cache per distinct budget, usually
     /// exactly one).
@@ -426,6 +550,41 @@ impl Default for DeploymentOptimizer {
     fn default() -> Self {
         DeploymentOptimizer::new()
     }
+}
+
+/// The scenario hash of one cell under a whole search space. Beyond the
+/// common cell fingerprint this folds in every search axis and the link
+/// budget's coverage-relevant parameters — perturbing the SNR threshold
+/// or a wake policy dirties every cell, while perturbing one grid axis
+/// dirties exactly the cells on it.
+fn cache_key(cell: &ScenarioCell, space: &SearchSpace) -> String {
+    let mut key = KeyBuilder::new("optimize");
+    for &count in &space.node_counts {
+        key.int("n", count as u64);
+    }
+    key.text("isd_search", space.isd_search.label());
+    if let IsdSearch::ModelGrid { min, max, step } = space.isd_search {
+        key.f64("isd_min", min.value())
+            .f64("isd_max", max.value())
+            .f64("isd_step", step.value());
+    }
+    for policy in &space.wake_policies {
+        key.f64("lead", policy.lead().value())
+            .f64("wake", policy.wake_delay().value())
+            .f64("guard", policy.guard().value());
+    }
+    key.int("pv", u64::from(space.pv_sizing))
+        .f64("snr", space.snr_threshold.value())
+        .f64("step", space.sample_step.value());
+    let budget = cell.params().budget();
+    key.f64("freq", budget.frequency().value())
+        .f64("hp_eirp", budget.hp_eirp().value())
+        .f64("lp_eirp", budget.lp_eirp().value())
+        .f64("hp_cal", budget.hp_calibration().value())
+        .f64("lp_cal", budget.lp_calibration().value())
+        .f64("noise", budget.noise_floor().value());
+    key.cell(cell);
+    key.finish()
 }
 
 /// Searches one cell: resolve the ISD per count, evaluate every
@@ -674,14 +833,72 @@ impl OptimizeReport {
         1.0 - self.profile_evaluations as f64 / self.lookups as f64
     }
 
+    /// Streams the report's per-cell chunks into `sink` in grid order,
+    /// returning the cell count; byte-identical to
+    /// [`OptimizeReport::to_csv`] / [`OptimizeReport::to_json`]. A CSV
+    /// "row" here is one cell's whole chunk — one line per frontier
+    /// point, or a single `unsolvable` line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`SinkError`](corridor_core::sink::SinkError).
+    pub fn stream_into(&self, format: RowFormat, sink: &mut dyn RowSink) -> SinkResult<u64> {
+        let mut rows = RowEmitter::begin(sink, format, OPTIMIZE_CSV_HEADER)?;
+        for r in &self.results {
+            rows.row(&render_optimize_row(r, self.isd_search, format))?;
+        }
+        rows.finish()
+    }
+
     /// Renders the report as CSV: one line per frontier point, one
     /// `unsolvable` line per cell without any feasible candidate.
     pub fn to_csv(&self) -> String {
-        let mut out = String::with_capacity(64 + 160 * self.frontier_points().max(1));
-        out.push_str(OPTIMIZE_CSV_HEADER);
-        out.push('\n');
-        for r in &self.results {
-            let c = r.cell();
+        let mut sink = StringSink::with_capacity(64 + 160 * self.frontier_points().max(1));
+        self.stream_into(RowFormat::Csv, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Renders the report as a JSON array of cell objects, each with
+    /// its status and frontier.
+    pub fn to_json(&self) -> String {
+        let mut sink = StringSink::with_capacity(64 + 320 * self.frontier_points().max(1));
+        self.stream_into(RowFormat::Json, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Writes [`OptimizeReport::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Writes [`OptimizeReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Renders one cell's search outcome as a report chunk. The CSV chunk
+/// spans one line per frontier point (each with its own newline); the
+/// JSON chunk is one cell object with its nested frontier array.
+pub(crate) fn render_optimize_row(
+    r: &OptimizeCellResult,
+    isd_search: &str,
+    format: RowFormat,
+) -> String {
+    let c = r.cell();
+    match format {
+        RowFormat::Csv => {
+            let mut out = String::with_capacity(160 * r.frontier().len().max(1));
             let mut prefix = String::new();
             let _ = write!(
                 prefix,
@@ -695,11 +912,11 @@ impl OptimizeReport {
                 c.conventional_isd_m(),
                 csv_field(c.profile_name()),
                 csv_field(c.location().name()),
-                self.isd_search,
+                isd_search,
             );
             if r.is_unsolvable() {
                 let _ = writeln!(out, "{prefix},unsolvable,-,-,-,-,-,-,-,-,-,-,-,-");
-                continue;
+                return out;
             }
             for p in r.frontier() {
                 let (pv_wp, battery_wh, days_full) = match p.pv {
@@ -729,17 +946,10 @@ impl OptimizeReport {
                     p.repeater_wh_day,
                 );
             }
+            out
         }
-        out
-    }
-
-    /// Renders the report as a JSON array of cell objects, each with
-    /// its status and frontier.
-    pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + 320 * self.frontier_points().max(1));
-        out.push_str("[\n");
-        for (i, r) in self.results.iter().enumerate() {
-            let c = r.cell();
+        RowFormat::Json => {
+            let mut out = String::with_capacity(320 * r.frontier().len().max(1));
             out.push_str("  {");
             let _ = write!(
                 out,
@@ -756,7 +966,7 @@ impl OptimizeReport {
                 c.conventional_isd_m(),
                 json_string(c.profile_name()),
                 json_string(c.location().name()),
-                json_string(self.isd_search),
+                json_string(isd_search),
                 json_string(if r.is_unsolvable() {
                     "unsolvable"
                 } else {
@@ -797,32 +1007,8 @@ impl OptimizeReport {
                 }
             }
             out.push_str("]}");
-            out.push_str(if i + 1 < self.results.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
+            out
         }
-        out.push_str("]\n");
-        out
-    }
-
-    /// Writes [`OptimizeReport::to_csv`] to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error.
-    pub fn write_csv<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        std::fs::write(path, self.to_csv())
-    }
-
-    /// Writes [`OptimizeReport::to_json`] to `path`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying I/O error.
-    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
     }
 }
 

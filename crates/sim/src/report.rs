@@ -4,6 +4,7 @@ use core::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use corridor_core::sink::{RowEmitter, RowFormat, RowSink, SinkResult, StringSink};
 use corridor_core::EnergyStrategy;
 
 use crate::{CellResult, PvOutcome};
@@ -92,123 +93,36 @@ impl SweepReport {
         self.results.iter().max_by(|a, b| key(a).total_cmp(&key(b)))
     }
 
+    /// Streams the report's rows into `sink` in grid order, returning
+    /// the row count. The output is byte-identical to
+    /// [`SweepReport::to_csv`] / [`SweepReport::to_json`] — those
+    /// writers are this method pointed at a [`StringSink`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`SinkError`](corridor_core::sink::SinkError).
+    pub fn stream_into(&self, format: RowFormat, sink: &mut dyn RowSink) -> SinkResult<u64> {
+        let mut rows = RowEmitter::begin(sink, format, CSV_HEADER)?;
+        for r in &self.results {
+            rows.row(&render_sweep_row(r, format))?;
+        }
+        rows.finish()
+    }
+
     /// Renders the report as CSV ([`CSV_HEADER`] plus one line per cell).
     pub fn to_csv(&self) -> String {
-        let mut out = String::with_capacity(64 + 160 * self.results.len());
-        out.push_str(CSV_HEADER);
-        out.push('\n');
-        for r in &self.results {
-            let c = r.cell();
-            let (pv_wp, battery_wh, days_full) = match r.pv() {
-                PvOutcome::Skipped => (String::new(), String::new(), String::new()),
-                PvOutcome::Unsolvable => ("-".into(), "-".into(), "-".into()),
-                PvOutcome::Sized {
-                    pv_wp,
-                    battery_wh,
-                    days_full_pct,
-                } => (
-                    format!("{pv_wp:.0}"),
-                    format!("{battery_wh:.0}"),
-                    format!("{days_full_pct:.2}"),
-                ),
-            };
-            let sleep = r.split(EnergyStrategy::SleepModeRepeaters);
-            let _ = writeln!(
-                out,
-                "{},{},{},{:.1},{},{},{},{},{},{},{:.0},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2},{:.2},{:.2},{pv_wp},{battery_wh},{days_full}",
-                c.index(),
-                c.trains_per_hour(),
-                c.service_window_h(),
-                c.train_speed_kmh(),
-                c.train_length_m(),
-                c.lp_spacing_m(),
-                c.conventional_isd_m(),
-                csv_field(c.profile_name()),
-                csv_field(c.location().name()),
-                c.nodes(),
-                c.isd().value(),
-                r.evaluator(),
-                r.baseline().total().value(),
-                r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
-                sleep.total().value(),
-                r.split(EnergyStrategy::SolarPoweredRepeaters).total().value(),
-                sleep.hp.value(),
-                sleep.service.value(),
-                sleep.donor.value(),
-                r.savings(EnergyStrategy::ContinuousRepeaters) * 100.0,
-                r.savings(EnergyStrategy::SleepModeRepeaters) * 100.0,
-                r.savings(EnergyStrategy::SolarPoweredRepeaters) * 100.0,
-            );
-        }
-        out
+        let mut sink = StringSink::with_capacity(64 + 160 * self.results.len());
+        self.stream_into(RowFormat::Csv, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
     }
 
     /// Renders the report as a JSON array of cell objects.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(64 + 320 * self.results.len());
-        out.push_str("[\n");
-        for (i, r) in self.results.iter().enumerate() {
-            let c = r.cell();
-            let sleep = r.split(EnergyStrategy::SleepModeRepeaters);
-            out.push_str("  {");
-            let _ = write!(
-                out,
-                "\"cell\": {}, \"trains_per_hour\": {}, \"service_window_h\": {}, \
-                 \"train_speed_kmh\": {:.1}, \"train_length_m\": {}, \"lp_spacing_m\": {}, \
-                 \"conventional_isd_m\": {}, \"power_profile\": {}, \"climate\": {}, \
-                 \"nodes\": {}, \"deployment_isd_m\": {}, \"evaluator\": {}, \
-                 \"baseline_wh_km\": {:.3}, \"continuous_wh_km\": {:.3}, \
-                 \"sleep_wh_km\": {:.3}, \"solar_wh_km\": {:.3}, \
-                 \"sleep_split_wh_km\": {{\"hp\": {:.3}, \"service\": {:.3}, \"donor\": {:.3}}}, \
-                 \"saving_pct\": {{\"continuous\": {:.2}, \"sleep\": {:.2}, \"solar\": {:.2}}}, ",
-                c.index(),
-                c.trains_per_hour(),
-                c.service_window_h(),
-                c.train_speed_kmh(),
-                c.train_length_m(),
-                c.lp_spacing_m(),
-                c.conventional_isd_m(),
-                json_string(c.profile_name()),
-                json_string(c.location().name()),
-                c.nodes(),
-                c.isd().value(),
-                json_string(r.evaluator()),
-                r.baseline().total().value(),
-                r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
-                sleep.total().value(),
-                r.split(EnergyStrategy::SolarPoweredRepeaters)
-                    .total()
-                    .value(),
-                sleep.hp.value(),
-                sleep.service.value(),
-                sleep.donor.value(),
-                r.savings(EnergyStrategy::ContinuousRepeaters) * 100.0,
-                r.savings(EnergyStrategy::SleepModeRepeaters) * 100.0,
-                r.savings(EnergyStrategy::SolarPoweredRepeaters) * 100.0,
-            );
-            match r.pv() {
-                PvOutcome::Skipped => out.push_str("\"pv_status\": \"skipped\"}"),
-                PvOutcome::Unsolvable => out.push_str("\"pv_status\": \"unsolvable\"}"),
-                PvOutcome::Sized {
-                    pv_wp,
-                    battery_wh,
-                    days_full_pct,
-                } => {
-                    let _ = write!(
-                        out,
-                        "\"pv_status\": \"sized\", \"pv_wp\": {pv_wp:.0}, \
-                         \"battery_wh\": {battery_wh:.0}, \"days_full_pct\": {days_full_pct:.2}}}"
-                    );
-                }
-            }
-            out.push_str(if i + 1 < self.results.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        out.push_str("]\n");
-        out
+        let mut sink = StringSink::with_capacity(64 + 320 * self.results.len());
+        self.stream_into(RowFormat::Json, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
     }
 
     /// Writes [`SweepReport::to_csv`] to `path`.
@@ -228,6 +142,120 @@ impl SweepReport {
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+}
+
+/// Renders one sweep result as a report row: CSV rows carry their own
+/// trailing newline; JSON rows start with two spaces of indent and
+/// carry no separators (the emitter owns `,\n`).
+pub(crate) fn render_sweep_row(r: &CellResult, format: RowFormat) -> String {
+    match format {
+        RowFormat::Csv => sweep_csv_row(r),
+        RowFormat::Json => sweep_json_row(r),
+    }
+}
+
+fn sweep_csv_row(r: &CellResult) -> String {
+    let c = r.cell();
+    let (pv_wp, battery_wh, days_full) = match r.pv() {
+        PvOutcome::Skipped => (String::new(), String::new(), String::new()),
+        PvOutcome::Unsolvable => ("-".into(), "-".into(), "-".into()),
+        PvOutcome::Sized {
+            pv_wp,
+            battery_wh,
+            days_full_pct,
+        } => (
+            format!("{pv_wp:.0}"),
+            format!("{battery_wh:.0}"),
+            format!("{days_full_pct:.2}"),
+        ),
+    };
+    let sleep = r.split(EnergyStrategy::SleepModeRepeaters);
+    let mut out = String::with_capacity(160);
+    let _ = writeln!(
+        out,
+        "{},{},{},{:.1},{},{},{},{},{},{},{:.0},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.2},{:.2},{:.2},{pv_wp},{battery_wh},{days_full}",
+        c.index(),
+        c.trains_per_hour(),
+        c.service_window_h(),
+        c.train_speed_kmh(),
+        c.train_length_m(),
+        c.lp_spacing_m(),
+        c.conventional_isd_m(),
+        csv_field(c.profile_name()),
+        csv_field(c.location().name()),
+        c.nodes(),
+        c.isd().value(),
+        r.evaluator(),
+        r.baseline().total().value(),
+        r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
+        sleep.total().value(),
+        r.split(EnergyStrategy::SolarPoweredRepeaters).total().value(),
+        sleep.hp.value(),
+        sleep.service.value(),
+        sleep.donor.value(),
+        r.savings(EnergyStrategy::ContinuousRepeaters) * 100.0,
+        r.savings(EnergyStrategy::SleepModeRepeaters) * 100.0,
+        r.savings(EnergyStrategy::SolarPoweredRepeaters) * 100.0,
+    );
+    out
+}
+
+fn sweep_json_row(r: &CellResult) -> String {
+    let c = r.cell();
+    let sleep = r.split(EnergyStrategy::SleepModeRepeaters);
+    let mut out = String::with_capacity(320);
+    out.push_str("  {");
+    let _ = write!(
+        out,
+        "\"cell\": {}, \"trains_per_hour\": {}, \"service_window_h\": {}, \
+         \"train_speed_kmh\": {:.1}, \"train_length_m\": {}, \"lp_spacing_m\": {}, \
+         \"conventional_isd_m\": {}, \"power_profile\": {}, \"climate\": {}, \
+         \"nodes\": {}, \"deployment_isd_m\": {}, \"evaluator\": {}, \
+         \"baseline_wh_km\": {:.3}, \"continuous_wh_km\": {:.3}, \
+         \"sleep_wh_km\": {:.3}, \"solar_wh_km\": {:.3}, \
+         \"sleep_split_wh_km\": {{\"hp\": {:.3}, \"service\": {:.3}, \"donor\": {:.3}}}, \
+         \"saving_pct\": {{\"continuous\": {:.2}, \"sleep\": {:.2}, \"solar\": {:.2}}}, ",
+        c.index(),
+        c.trains_per_hour(),
+        c.service_window_h(),
+        c.train_speed_kmh(),
+        c.train_length_m(),
+        c.lp_spacing_m(),
+        c.conventional_isd_m(),
+        json_string(c.profile_name()),
+        json_string(c.location().name()),
+        c.nodes(),
+        c.isd().value(),
+        json_string(r.evaluator()),
+        r.baseline().total().value(),
+        r.split(EnergyStrategy::ContinuousRepeaters).total().value(),
+        sleep.total().value(),
+        r.split(EnergyStrategy::SolarPoweredRepeaters)
+            .total()
+            .value(),
+        sleep.hp.value(),
+        sleep.service.value(),
+        sleep.donor.value(),
+        r.savings(EnergyStrategy::ContinuousRepeaters) * 100.0,
+        r.savings(EnergyStrategy::SleepModeRepeaters) * 100.0,
+        r.savings(EnergyStrategy::SolarPoweredRepeaters) * 100.0,
+    );
+    match r.pv() {
+        PvOutcome::Skipped => out.push_str("\"pv_status\": \"skipped\"}"),
+        PvOutcome::Unsolvable => out.push_str("\"pv_status\": \"unsolvable\"}"),
+        PvOutcome::Sized {
+            pv_wp,
+            battery_wh,
+            days_full_pct,
+        } => {
+            let _ = write!(
+                out,
+                "\"pv_status\": \"sized\", \"pv_wp\": {pv_wp:.0}, \
+                 \"battery_wh\": {battery_wh:.0}, \"days_full_pct\": {days_full_pct:.2}}}"
+            );
+        }
+    }
+    out
 }
 
 /// Quotes a CSV field when it contains a delimiter, quote or newline

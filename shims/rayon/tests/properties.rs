@@ -104,6 +104,49 @@ fn repeated_runs_are_identical() {
     }
 }
 
+proptest! {
+    /// stream_ordered: the consumed sequence equals the serial map for
+    /// every worker count and window size, under task-size skew.
+    #[test]
+    fn stream_ordered_equals_serial(
+        sizes in prop::collection::vec(0u64..200, 1..48),
+        window in 1usize..12,
+    ) {
+        let expected: Vec<u64> = sizes.iter().map(|&units| busy(units)).collect();
+        for workers in [1usize, 2, 8] {
+            let mut seen = Vec::new();
+            rayon::stream_ordered(
+                sizes.iter().copied(),
+                workers,
+                window,
+                busy,
+                |r| { seen.push(r); Ok::<(), ()>(()) },
+            ).unwrap();
+            prop_assert_eq!(&seen, &expected, "workers = {}, window = {}", workers, window);
+        }
+    }
+}
+
+/// stream_ordered under adversarial skew (a huge task at the front
+/// blocks the emission head): later results must buffer without ever
+/// exceeding the window, then drain in order.
+#[test]
+fn stream_ordered_skewed_head_stays_ordered() {
+    let sizes: Vec<u64> = (0..64u64)
+        .map(|i| if i == 0 { 60_000 } else { 1 })
+        .collect();
+    let expected: Vec<u64> = sizes.iter().map(|&units| busy(units)).collect();
+    for workers in [2usize, 8] {
+        let mut seen = Vec::new();
+        rayon::stream_ordered(sizes.iter().copied(), workers, 6, busy, |r| {
+            seen.push(r);
+            Ok::<(), ()>(())
+        })
+        .unwrap();
+        assert_eq!(seen, expected, "workers = {workers}");
+    }
+}
+
 /// for_each under skew visits every item exactly once.
 #[test]
 fn for_each_under_skew_visits_every_item_once() {
