@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc optimize serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
+.PHONY: ci fmt-check clippy build test golden differential mc optimize network-smoke serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
 
-ci: fmt-check clippy build test golden differential mc optimize serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
+ci: fmt-check clippy build test golden differential mc optimize network-smoke serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
 fmt-check:
 	cargo fmt --all --check
@@ -38,6 +38,13 @@ mc:
 optimize:
 	cargo run -q --release -p corridor_bench --bin optimize -- --smoke | diff - docs/results/optimize_smoke.txt
 	cargo test -q -p corridor_sim --test optimize
+
+# Rail-network smoke: the wye3 junction through the per-edge frontier
+# search and the demand-aware sleep scheduler, byte-diffed against the
+# committed golden (plus the network graph/scheduler/differential suite).
+network-smoke:
+	cargo run -q --release -p corridor_bench --bin network -- --smoke | diff - docs/results/network_smoke.txt
+	cargo test -q -p corridor_sim --test network
 
 # Streaming serve smoke: the sharded worker-process service answers the
 # committed requests with the committed byte stream (mixed-8 sweep in
@@ -101,3 +108,4 @@ results:
 	cargo run -q --release -p corridor_bench --bin simulate -- --stats > docs/results/poisson_stats.txt
 	cargo run -q --release -p corridor_bench --bin mc -- --smoke > docs/results/mc_smoke.txt
 	cargo run -q --release -p corridor_bench --bin optimize -- --smoke > docs/results/optimize_smoke.txt
+	cargo run -q --release -p corridor_bench --bin network -- --smoke > docs/results/network_smoke.txt

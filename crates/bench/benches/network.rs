@@ -1,0 +1,74 @@
+//! Network-optimizer throughput: edges searched per second, serial vs
+//! parallel, plus the sleep scheduler alone.
+//!
+//! The per-edge search dominates (it is the same cached Pareto search
+//! the `optimize` bench times); the scheduler adds a greedy pass over
+//! the boundary repeaters whose cost this bench pins as negligible next
+//! to the search.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use corridor_core::units::Meters;
+use corridor_sim::{CorridorNetwork, NetworkOptimizer, SearchSpace};
+
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2))
+}
+
+fn bench_space() -> SearchSpace {
+    SearchSpace::new().sample_step(Meters::new(10.0))
+}
+
+fn bench_network() -> CorridorNetwork {
+    CorridorNetwork::by_name("star4").expect("star4 is a named topology")
+}
+
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    let net = bench_network();
+    let space = bench_space();
+    let mut group = c.benchmark_group("network_star4");
+    group.bench_function("serial", |b| {
+        let optimizer = NetworkOptimizer::new().workers(1);
+        b.iter(|| {
+            optimizer
+                .run_serial(black_box(&net), black_box(&space))
+                .unwrap()
+        })
+    });
+    for workers in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                let optimizer = NetworkOptimizer::new().workers(workers);
+                b.iter(|| optimizer.run(black_box(&net), black_box(&space)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_schedule_only(c: &mut Criterion) {
+    // re-running `run` on a warmed coverage cache leaves the schedule
+    // and fold as the dominant non-cached work
+    let net = bench_network();
+    let space = bench_space();
+    let optimizer = NetworkOptimizer::new().workers(1);
+    let _warm = optimizer.run(&net, &space).unwrap();
+    c.bench_function("network_schedule_warm", |b| {
+        b.iter(|| optimizer.run(black_box(&net), black_box(&space)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_serial_vs_parallel, bench_schedule_only
+}
+criterion_main!(benches);

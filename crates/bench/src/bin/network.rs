@@ -1,0 +1,268 @@
+//! Rail-network optimizer: searches the deployment frontier of every
+//! corridor edge of a network topology and schedules demand-aware sleep
+//! at shared stations (greedy minimum-active-set over boundary
+//! repeaters), printing the summary, the sleep schedule and the
+//! frontier CSV/JSON.
+//!
+//! ```console
+//! $ cargo run --release -p corridor_bench --bin network -- --help
+//! $ cargo run --release -p corridor_bench --bin network -- --topology star4
+//! $ cargo run --release -p corridor_bench --bin network -- --csv --workers 8 > frontier.csv
+//! $ cargo run --release -p corridor_bench --bin network -- --smoke
+//! ```
+//!
+//! Stdout depends only on the options: the frontier rows stream through
+//! the `RowSink` layer in edge order whatever `--workers` says, so piped
+//! output is byte-reproducible; wall-clock timing goes to stderr.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use corridor_bench::render;
+use corridor_core::sink::{RowFormat, WriteSink};
+use corridor_core::units::Meters;
+use corridor_sim::{CorridorNetwork, IsdSearch, NetworkOptimizer, SearchSpace};
+
+const USAGE: &str = "\
+usage: network [options]
+
+options:
+  --topology T  line1 | line3 | wye3 (default) | star4 | cycle4
+  --isd M       paper (published Section V table, default) | model
+                (cached 50 m-step max-ISD search under the link budget)
+  --capacity C  aggregate demand one boundary repeater may absorb,
+                trains/h (default: 30)
+  --sample-step S
+                coverage-profile sampling step in metres (default: 10)
+  --workers N   worker threads, 0 = auto (default: 0)
+  --csv         stream the frontier CSV instead of the summary
+  --json        stream the frontier JSON instead of the summary
+  --smoke       print the committed network_smoke golden rendering and
+                exit (fixed configuration; not combinable)
+  --help        this text
+";
+
+struct Options {
+    topology: String,
+    space: SearchSpace,
+    capacity: Option<f64>,
+    workers: usize,
+    csv: bool,
+    json: bool,
+    smoke: bool,
+}
+
+fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        topology: "wye3".into(),
+        space: SearchSpace::new().sample_step(Meters::new(10.0)),
+        capacity: None,
+        workers: 0,
+        csv: false,
+        json: false,
+        smoke: false,
+    };
+    let _ = args.next(); // binary name
+    let mut search_options: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        if arg != "--smoke" && arg != "--help" && arg != "-h" {
+            search_options.push(arg.clone());
+        }
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--topology" => {
+                let name = value("--topology")?;
+                if CorridorNetwork::by_name(&name).is_none() {
+                    return Err(format!("unknown topology {name}"));
+                }
+                opts.topology = name;
+            }
+            "--isd" => {
+                opts.space = match value("--isd")?.as_str() {
+                    "paper" => opts.space.isd_search(IsdSearch::PaperTable),
+                    "model" => opts.space.isd_search(IsdSearch::model_paper_grid()),
+                    other => return Err(format!("unknown ISD mode {other}")),
+                };
+            }
+            "--capacity" => {
+                let cap: f64 = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+                if cap.is_nan() || cap <= 0.0 {
+                    return Err("--capacity must be positive".into());
+                }
+                opts.capacity = Some(cap);
+            }
+            "--sample-step" => {
+                let step: f64 = value("--sample-step")?
+                    .parse()
+                    .map_err(|e| format!("--sample-step: {e}"))?;
+                if step.is_nan() || step <= 0.0 {
+                    return Err("--sample-step must be positive".into());
+                }
+                opts.space = opts.space.sample_step(Meters::new(step));
+            }
+            "--workers" => {
+                opts.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
+            "--smoke" => opts.smoke = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.smoke && !search_options.is_empty() {
+        return Err(format!(
+            "--smoke renders the fixed golden configuration and cannot be \
+             combined with {}",
+            search_options.join(" ")
+        ));
+    }
+    if opts.csv && opts.json {
+        return Err("--csv and --json are mutually exclusive".into());
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse(std::env::args()) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("network: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.smoke {
+        print!("{}", render::network_smoke());
+        return ExitCode::SUCCESS;
+    }
+
+    let net = CorridorNetwork::by_name(&opts.topology).expect("validated by parse");
+    let mut optimizer = NetworkOptimizer::new();
+    if opts.workers > 0 {
+        optimizer = optimizer.workers(opts.workers);
+    }
+    if let Some(cap) = opts.capacity {
+        optimizer = optimizer.capacity_tph(cap);
+    }
+
+    let started = Instant::now();
+    if opts.csv || opts.json {
+        // stream the frontier rows through the RowSink layer: edge
+        // order, byte-identical whatever the worker count
+        let format = if opts.csv {
+            RowFormat::Csv
+        } else {
+            RowFormat::Json
+        };
+        let stdout = std::io::stdout();
+        let mut sink = WriteSink::new(std::io::BufWriter::new(stdout.lock()));
+        let summary = match optimizer.stream_frontier(&net, &opts.space, format, &mut sink) {
+            Ok(summary) => summary,
+            Err(err) => {
+                eprintln!("network: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut writer = sink.into_inner();
+        if writer.flush().is_err() {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "streamed {} edge(s) in {:.0} ms (workers: {})",
+            summary.cells,
+            started.elapsed().as_secs_f64() * 1e3,
+            if opts.workers == 0 {
+                "auto".to_string()
+            } else {
+                opts.workers.to_string()
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match optimizer.run(&net, &opts.space) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("network: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    println!("Rail-network optimizer — per-edge frontiers + demand-aware sleep");
+    println!();
+    println!(
+        "topology: {} ({} stations, {} edges)  isd: {}",
+        opts.topology,
+        report.network().station_count(),
+        report.network().edge_count(),
+        report.isd_search(),
+    );
+    for (e, pick) in report.picks().iter().enumerate() {
+        let edge = report.network().edge(e);
+        match pick {
+            Some(p) => println!(
+                "edge {e} ({}): {} t/h over {:.0} km -> {} nodes @ {:.0} m, \
+                 {:.1} Wh/day/km, margin {:.3} dB",
+                report.network().edge_name(e),
+                edge.demand_tph(),
+                edge.length_km_value(),
+                p.nodes,
+                p.isd.value(),
+                p.energy_wh_day_km,
+                p.margin_db,
+            ),
+            None => println!(
+                "edge {e} ({}): {} t/h -> unsolvable",
+                report.network().edge_name(e),
+                edge.demand_tph(),
+            ),
+        }
+    }
+    println!();
+    println!(
+        "sleep schedule: {} boundary repeater(s) sleep, {:.3} Wh/day net saving",
+        report.plan().len(),
+        report.sleep_saving_wh_day()
+    );
+    for d in report.plan() {
+        println!(
+            "  station {} ({}): edge {} sleeps into edge {} \
+             (+{} t/h absorbed, net {:.3} Wh/day)",
+            d.station,
+            report.network().station_name(d.station),
+            d.edge,
+            d.absorber_edge,
+            d.absorbed_demand_tph,
+            d.net_wh_day,
+        );
+    }
+    println!(
+        "totals: per-corridor {:.3} Wh/day -> network {:.3} Wh/day",
+        report.corridor_wh_day(),
+        report.network_wh_day()
+    );
+
+    eprintln!(
+        "searched {} edge(s) in {:.0} ms (workers: {})",
+        report.len(),
+        elapsed.as_secs_f64() * 1e3,
+        if opts.workers == 0 {
+            "auto".to_string()
+        } else {
+            opts.workers.to_string()
+        }
+    );
+    ExitCode::SUCCESS
+}

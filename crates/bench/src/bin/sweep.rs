@@ -115,15 +115,21 @@ fn main() -> ExitCode {
         }
     };
 
-    let grid = if opts.demo {
+    let base = if opts.demo {
         ScenarioGrid::new()
             .trains_per_hour(vec![4.0, 8.0])
             .train_speeds_kmh(vec![160.0, 200.0])
             .locations(vec![climate::madrid(), climate::berlin()])
     } else {
         ScenarioGrid::screening_200()
-    }
-    .repeater_nodes(opts.nodes);
+    };
+    let grid = match base.repeater_nodes(opts.nodes) {
+        Ok(grid) => grid,
+        Err(err) => {
+            eprintln!("sweep: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // resolve the worker count once and hand it to the engine, so the
     // banner below always matches the pool that actually runs

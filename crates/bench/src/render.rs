@@ -569,6 +569,84 @@ pub fn optimize_smoke() -> String {
     out
 }
 
+/// Renders the network-optimizer smoke run (the committed
+/// `network_smoke` golden file): the `wye3` junction — three corridor
+/// legs at 4/8/12 trains/h meeting at a hub, the 8 tph leg
+/// double-tracked — searched at the paper-table anchors and folded
+/// through the demand-aware sleep scheduler. Small enough for CI, but
+/// it exercises the whole network pipeline: the graph model, the shared
+/// per-edge Pareto search, the greedy boundary-repeater schedule and
+/// the deterministic frontier/schedule writers.
+pub fn network_smoke() -> String {
+    use corridor_core::units::Meters;
+    use corridor_sim::{CorridorNetwork, NetworkOptimizer, SearchSpace};
+
+    let net = CorridorNetwork::by_name("wye3").expect("wye3 is a named topology");
+    let space = SearchSpace::new().sample_step(Meters::new(10.0));
+    let report = NetworkOptimizer::new()
+        .workers(1)
+        .run(&net, &space)
+        .expect("wye3 is a valid network");
+
+    let mut out = String::from(
+        "Network optimizer smoke run — demand-aware sleep at a junction\n\n\
+         topology: wye3 (three legs at 4/8/12 trains/h sharing a hub; the\n\
+         8 tph leg is double track, so 16 tph of demand crosses the hub)\n\
+         space: 0-10 repeater nodes at the paper-table ISDs, instant wake\n\
+         schedule: greedy minimum-active-set over hub boundary repeaters\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "edge".into(),
+        "name".into(),
+        "demand [t/h]".into(),
+        "pick".into(),
+        "ISD [m]".into(),
+        "energy [Wh/day/km]".into(),
+        "margin [dB]".into(),
+    ]);
+    for (e, pick) in report.picks().iter().enumerate() {
+        let edge = report.network().edge(e);
+        match pick {
+            Some(p) => table.add_row(vec![
+                e.to_string(),
+                report.network().edge_name(e).to_owned(),
+                format!("{}", edge.demand_tph()),
+                format!("{} nodes", p.nodes),
+                format!("{:.0}", p.isd.value()),
+                format!("{:.1}", p.energy_wh_day_km),
+                format!("{:.3}", p.margin_db),
+            ]),
+            None => table.add_row(vec![
+                e.to_string(),
+                report.network().edge_name(e).to_owned(),
+                format!("{}", edge.demand_tph()),
+                "unsolvable".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "sleep schedule: {} boundary repeater(s) sleep, {:.3} Wh/day net saving",
+        report.plan().len(),
+        report.sleep_saving_wh_day()
+    );
+    let _ = writeln!(
+        out,
+        "totals: per-corridor {:.3} Wh/day -> network {:.3} Wh/day",
+        report.corridor_wh_day(),
+        report.network_wh_day()
+    );
+    let _ = writeln!(out, "schedule:");
+    out.push_str(&report.schedule_csv());
+    let _ = writeln!(out, "csv:");
+    out.push_str(&report.frontier_csv());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +670,31 @@ mod tests {
             .parse()
             .unwrap();
         assert!(pct.abs() < 1.0, "{line}");
+    }
+
+    #[test]
+    fn network_smoke_is_deterministic_and_well_formed() {
+        let a = network_smoke();
+        assert_eq!(a, network_smoke());
+        assert!(a.contains("wye3"));
+        assert!(a.contains("sleep schedule"));
+        // the double-tracked 8 tph leg crosses the hub at 16 tph
+        assert!(a.contains("16"));
+        let schedule_lines = a
+            .lines()
+            .skip_while(|l| *l != "schedule:")
+            .skip(1)
+            .take_while(|l| *l != "csv:")
+            .filter(|l| !l.is_empty())
+            .count();
+        assert!(schedule_lines >= 2, "header plus at least one decision");
+        let csv_lines = a
+            .lines()
+            .skip_while(|l| *l != "csv:")
+            .skip(1)
+            .filter(|l| !l.is_empty())
+            .count();
+        assert_eq!(csv_lines, 34); // header + 3 edges x 11 frontier rows
     }
 
     #[test]

@@ -183,9 +183,14 @@ pub enum ScenarioError {
     NonPositiveSpacing,
     /// The conventional reference ISD is zero or negative.
     NonPositiveIsd,
-    /// The timetable carries no trains (non-positive rate or an empty or
-    /// oversized service window).
+    /// The timetable carries no trains (non-positive rate, or a rate so
+    /// low the daily train count rounds to zero).
     EmptyTimetable,
+    /// The daily service window is not a finite number of hours in
+    /// `(0, 24]` — NaN, zero, negative and longer-than-a-day windows all
+    /// produce nonsense duty cycles downstream, so they are rejected at
+    /// the builder instead.
+    InvalidServiceWindow,
     /// The train speed is zero or negative.
     NonPositiveTrainSpeed,
     /// The train length is negative.
@@ -213,9 +218,12 @@ impl fmt::Display for ScenarioError {
                 f.write_str("conventional ISD must be strictly positive")
             }
             ScenarioError::EmptyTimetable => f.write_str(
-                "timetable is empty: trains per hour must be positive and the \
-                 service window within (0, 24] hours",
+                "timetable is empty: trains per hour must be positive and \
+                 yield at least one train per day",
             ),
+            ScenarioError::InvalidServiceWindow => {
+                f.write_str("service window must be a finite number of hours in (0, 24]")
+            }
             ScenarioError::NonPositiveTrainSpeed => {
                 f.write_str("train speed must be strictly positive")
             }
@@ -355,6 +363,7 @@ impl ScenarioParamsBuilder {
     /// Returns the first applicable [`ScenarioError`]:
     /// [`NonPositiveSpacing`](ScenarioError::NonPositiveSpacing),
     /// [`NonPositiveIsd`](ScenarioError::NonPositiveIsd),
+    /// [`InvalidServiceWindow`](ScenarioError::InvalidServiceWindow),
     /// [`EmptyTimetable`](ScenarioError::EmptyTimetable),
     /// [`NonPositiveTrainSpeed`](ScenarioError::NonPositiveTrainSpeed) or
     /// [`NegativeTrainLength`](ScenarioError::NegativeTrainLength).
@@ -367,7 +376,10 @@ impl ScenarioParamsBuilder {
             return Err(ScenarioError::NonPositiveIsd);
         }
         let window = self.service_window.value();
-        if !positive(self.trains_per_hour) || !positive(window) || window > 24.0 {
+        if !positive(window) || window > 24.0 {
+            return Err(ScenarioError::InvalidServiceWindow);
+        }
+        if !positive(self.trains_per_hour) {
             return Err(ScenarioError::EmptyTimetable);
         }
         if (self.trains_per_hour * window).round() < 1.0 {
@@ -506,14 +518,24 @@ mod tests {
         for builder in [
             ScenarioParams::builder().trains_per_hour(0.0),
             ScenarioParams::builder().trains_per_hour(-8.0),
-            ScenarioParams::builder().service_window_h(0.0),
-            ScenarioParams::builder().service_window_h(25.0),
+            ScenarioParams::builder().trains_per_hour(f64::NAN),
             // rounds to zero trains per day
             ScenarioParams::builder()
                 .trains_per_hour(0.02)
                 .service_window_h(1.0),
         ] {
             assert_eq!(builder.build().unwrap_err(), ScenarioError::EmptyTimetable);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_service_window() {
+        for hours in [0.0, -3.0, 25.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ScenarioParams::builder()
+                .service_window_h(hours)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ScenarioError::InvalidServiceWindow, "hours={hours}");
         }
     }
 
@@ -544,6 +566,9 @@ mod tests {
         assert!(ScenarioError::EmptyTimetable
             .to_string()
             .contains("timetable"));
+        assert!(ScenarioError::InvalidServiceWindow
+            .to_string()
+            .contains("service window"));
         assert!(ScenarioError::NonPositiveTrainSpeed
             .to_string()
             .contains("speed"));

@@ -14,6 +14,19 @@
 /// Monte-Carlo report stay byte-identical across worker counts (workers
 /// evaluate days in parallel; the fold happens serially in seed order).
 ///
+/// # Non-finite samples
+///
+/// A single NaN or ±∞ sample **poisons** the accumulator: from that
+/// sample on, `mean`, `variance`, `stddev`, `ci95`, `min` and `max` all
+/// return NaN (and [`Welford::is_poisoned`] returns `true`), while
+/// `count` keeps counting every pushed sample. Without the explicit flag
+/// the failure would be half-silent — NaN loses every float comparison,
+/// so `min`/`max` would freeze at their pre-NaN values while mean/m2 went
+/// NaN, and the `.max(0.0)` cancellation guard in `variance` would then
+/// *heal* the NaN back to 0.0. One poisoned replication must read as "this
+/// statistic is invalid", not as a plausible number — see
+/// `docs/backends.md`.
+///
 /// # Examples
 ///
 /// ```
@@ -35,6 +48,7 @@ pub struct Welford {
     m2: f64,
     min: f64,
     max: f64,
+    poisoned: bool,
 }
 
 impl Welford {
@@ -46,12 +60,17 @@ impl Welford {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            poisoned: false,
         }
     }
 
-    /// Folds one sample in.
+    /// Folds one sample in. A non-finite sample poisons the accumulator
+    /// (see the type-level docs).
     pub fn push(&mut self, x: f64) {
         self.count += 1;
+        if !x.is_finite() {
+            self.poisoned = true;
+        }
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);
@@ -59,14 +78,22 @@ impl Welford {
         self.max = self.max.max(x);
     }
 
-    /// Number of samples folded so far.
+    /// True once any non-finite sample has been folded in; every
+    /// statistic except [`Welford::count`] reads NaN from then on.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Number of samples folded so far (poisoned or not).
     pub fn count(&self) -> u64 {
         self.count
     }
 
-    /// The running mean (`0.0` while empty).
+    /// The running mean (`0.0` while empty, NaN once poisoned).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
+        if self.poisoned {
+            f64::NAN
+        } else if self.count == 0 {
             0.0
         } else {
             self.mean
@@ -74,24 +101,29 @@ impl Welford {
     }
 
     /// The unbiased sample variance (n−1 denominator; `0.0` for fewer
-    /// than two samples).
+    /// than two samples, NaN once poisoned).
     pub fn variance(&self) -> f64 {
-        if self.count < 2 {
+        if self.poisoned {
+            f64::NAN
+        } else if self.count < 2 {
             0.0
         } else {
             // guard the tiny negative m2 that cancellation can leave
+            // (safe here: f64::max(NaN, 0.0) would heal a NaN m2 to 0.0,
+            // but the poisoned branch above has already returned)
             (self.m2 / (self.count - 1) as f64).max(0.0)
         }
     }
 
-    /// The sample standard deviation.
+    /// The sample standard deviation (NaN once poisoned).
     pub fn stddev(&self) -> f64 {
         self.variance().sqrt()
     }
 
     /// Half-width of the 95 % confidence interval on the mean,
     /// `t · s / √n` with the Student-t critical value for `n − 1`
-    /// degrees of freedom (`0.0` for fewer than two samples).
+    /// degrees of freedom (`0.0` for fewer than two samples, NaN once
+    /// poisoned).
     ///
     /// The fixed normal quantile 1.96 this method used to apply
     /// understates the interval for small replication counts (at n = 10
@@ -99,25 +131,31 @@ impl Welford {
     /// looks the proper factor up and converges to 1.96 for large n —
     /// see `docs/backends.md` for when to trust a CI.
     pub fn ci95(&self) -> f64 {
-        if self.count < 2 {
+        if self.poisoned {
+            f64::NAN
+        } else if self.count < 2 {
             0.0
         } else {
             t_critical95(self.count - 1) * self.stddev() / (self.count as f64).sqrt()
         }
     }
 
-    /// Smallest sample seen (`0.0` while empty).
+    /// Smallest sample seen (`0.0` while empty, NaN once poisoned).
     pub fn min(&self) -> f64 {
-        if self.count == 0 {
+        if self.poisoned {
+            f64::NAN
+        } else if self.count == 0 {
             0.0
         } else {
             self.min
         }
     }
 
-    /// Largest sample seen (`0.0` while empty).
+    /// Largest sample seen (`0.0` while empty, NaN once poisoned).
     pub fn max(&self) -> f64 {
-        if self.count == 0 {
+        if self.poisoned {
+            f64::NAN
+        } else if self.count == 0 {
             0.0
         } else {
             self.max
@@ -309,6 +347,39 @@ mod tests {
         }
         assert_eq!(t_critical95(0), 0.0);
         assert_eq!(t_critical95(2000), 1.96);
+    }
+
+    #[test]
+    fn non_finite_sample_poisons_every_statistic() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut acc = Welford::new();
+            acc.push(1.0);
+            acc.push(3.0);
+            assert!(!acc.is_poisoned());
+            acc.push(bad);
+            acc.push(5.0); // later good samples cannot un-poison
+            assert!(acc.is_poisoned(), "sample {bad}");
+            assert_eq!(acc.count(), 4, "count still tracks every sample");
+            assert!(acc.mean().is_nan(), "mean for {bad}");
+            assert!(acc.variance().is_nan(), "variance for {bad}");
+            assert!(acc.stddev().is_nan(), "stddev for {bad}");
+            assert!(acc.ci95().is_nan(), "ci95 for {bad}");
+            // the headline bug: min/max used to freeze at 1.0/3.0
+            assert!(acc.min().is_nan(), "min for {bad}");
+            assert!(acc.max().is_nan(), "max for {bad}");
+            let s = acc.summary();
+            assert_eq!(s.n, 4);
+            assert!(s.mean.is_nan() && s.min.is_nan() && s.max.is_nan());
+        }
+    }
+
+    #[test]
+    fn finite_streams_never_poison() {
+        let mut acc = Welford::new();
+        (0..1000).for_each(|i| acc.push((i as f64) * 1e10 - 5e12));
+        assert!(!acc.is_poisoned());
+        assert!(acc.mean().is_finite());
+        assert!(acc.stddev().is_finite());
     }
 
     #[test]

@@ -121,6 +121,12 @@ pub struct ScenarioGrid {
 }
 
 impl ScenarioGrid {
+    /// The paper's Table III deployment ISD for the default ten-node
+    /// corridor, in metres. Written out as a literal (and pinned to the
+    /// [`IsdTable::paper`] entry by a unit test) so constructing the
+    /// default grid carries no panic path at all.
+    const PAPER_DEFAULT_ISD_M: f64 = 2650.0;
+
     /// The one-cell grid of paper defaults (Berlin climate, ten repeater
     /// nodes).
     pub fn new() -> Self {
@@ -134,9 +140,7 @@ impl ScenarioGrid {
             locations: vec![climate::berlin()],
             service_window_h: 19.0,
             nodes: 10,
-            isd: IsdTable::paper()
-                .isd_for(10)
-                .expect("paper table covers 10 nodes"),
+            isd: Meters::new(Self::PAPER_DEFAULT_ISD_M),
         }
     }
 
@@ -249,27 +253,11 @@ impl ScenarioGrid {
     /// Sets the deployment evaluated in every cell: `nodes` low-power
     /// repeaters at the paper's maximum ISD for that count.
     ///
-    /// # Panics
-    ///
-    /// Panics if the paper's ISD table has no entry for `nodes`
-    /// (it covers 0–10). Machine-generated node counts should use
-    /// [`ScenarioGrid::try_repeater_nodes`] instead.
-    #[must_use]
-    pub fn repeater_nodes(self, nodes: usize) -> Self {
-        match self.try_repeater_nodes(nodes) {
-            Ok(grid) => grid,
-            Err(_) => panic!("no paper ISD for {nodes} nodes"),
-        }
-    }
-
-    /// Fallible variant of [`ScenarioGrid::repeater_nodes`] for
-    /// machine-generated node counts.
-    ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::NoIsdForNodeCount`] if the paper's ISD
-    /// table has no entry for `nodes`.
-    pub fn try_repeater_nodes(mut self, nodes: usize) -> Result<Self, ScenarioError> {
+    /// table has no entry for `nodes` (it covers 0–10).
+    pub fn repeater_nodes(mut self, nodes: usize) -> Result<Self, ScenarioError> {
         self.isd = IsdTable::paper()
             .isd_for(nodes)
             .ok_or(ScenarioError::NoIsdForNodeCount(nodes))?;
@@ -462,19 +450,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no paper ISD for 11 nodes")]
-    fn oversized_node_count_rejected() {
-        let _ = ScenarioGrid::new().repeater_nodes(11);
+    fn oversized_node_count_is_a_recoverable_error() {
+        let err = ScenarioGrid::new().repeater_nodes(11).unwrap_err();
+        assert_eq!(err, ScenarioError::NoIsdForNodeCount(11));
+        // the fallible path sets nodes and ISD together on success
+        let grid = ScenarioGrid::new().repeater_nodes(3).unwrap();
+        assert_eq!(grid.nodes(), 3);
+        assert_eq!(grid.deployment_isd(), Meters::new(1600.0));
     }
 
     #[test]
-    fn oversized_node_count_is_a_recoverable_error_via_try() {
-        let err = ScenarioGrid::new().try_repeater_nodes(11).unwrap_err();
-        assert_eq!(err, ScenarioError::NoIsdForNodeCount(11));
-        // the fallible path sets nodes and ISD together on success
-        let grid = ScenarioGrid::new().try_repeater_nodes(3).unwrap();
-        assert_eq!(grid.nodes(), 3);
-        assert_eq!(grid.deployment_isd(), Meters::new(1600.0));
+    fn default_isd_literal_matches_paper_table() {
+        assert_eq!(
+            Meters::new(ScenarioGrid::PAPER_DEFAULT_ISD_M),
+            IsdTable::paper().isd_for(10).unwrap()
+        );
+    }
+
+    #[test]
+    fn invalid_service_window_rejected_at_expand() {
+        for hours in [0.0, -5.0, 25.0, f64::NAN, f64::INFINITY] {
+            let grid = ScenarioGrid::new().service_window_h(hours);
+            assert_eq!(
+                grid.expand().unwrap_err(),
+                ScenarioError::InvalidServiceWindow,
+                "hours={hours}"
+            );
+        }
+        // the boundary itself is legal: a 24 h service window expands
+        assert!(ScenarioGrid::new().service_window_h(24.0).expand().is_ok());
     }
 
     #[test]
@@ -521,7 +525,7 @@ mod tests {
 
     #[test]
     fn nodes_axis_changes_deployment() {
-        let grid = ScenarioGrid::new().repeater_nodes(1);
+        let grid = ScenarioGrid::new().repeater_nodes(1).unwrap();
         assert_eq!(grid.nodes(), 1);
         assert_eq!(grid.deployment_isd(), Meters::new(1250.0));
         let cells = grid.expand().unwrap();

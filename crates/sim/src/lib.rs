@@ -29,6 +29,15 @@
 //! frontier** over energy/day, nodes/km and coverage margin
 //! ([`OptimizeReport`]).
 //!
+//! The optimizer generalizes from one corridor to a rail **network**: a
+//! [`CorridorNetwork`] joins corridor edges at shared stations, the
+//! [`NetworkOptimizer`] runs the same per-cell search over every edge
+//! and then schedules demand-aware sleep — boundary repeaters at
+//! junctions sleep whenever a co-located neighbor can absorb their
+//! demand at a net energy win ([`NetworkReport`]). A degenerate
+//! single-path network reproduces the linear optimizer's frontier
+//! byte-for-byte.
+//!
 //! On top of the deterministic sweep sits the Monte-Carlo layer: a
 //! [`ReplicationPlan`] replicates every grid cell over seeded stochastic
 //! days (Poisson, jittered — see [`TrafficSpec`]), the [`McEngine`]
@@ -63,6 +72,7 @@ mod cell;
 mod engine;
 mod grid;
 mod mc;
+mod network;
 mod optimize;
 mod report;
 mod stream;
@@ -73,6 +83,10 @@ pub use engine::{Evaluator, SweepEngine};
 pub use grid::{PowerProfile, ScenarioGrid};
 pub use mc::{
     McCellResult, McEngine, McMetric, McReport, ReplicationPlan, TrafficSpec, MC_CSV_HEADER,
+};
+pub use network::{
+    CorridorEdge, CorridorNetwork, NetworkError, NetworkOptimizer, NetworkReport, SleepDecision,
+    NETWORK_SCHEDULE_CSV_HEADER,
 };
 pub use optimize::{
     CellOutcome, DeploymentOptimizer, FrontierPoint, IsdSearch, OptimizeCellResult, OptimizeReport,

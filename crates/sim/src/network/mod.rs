@@ -1,0 +1,489 @@
+//! The corridor-network layer: graph model, per-edge Pareto search and
+//! demand-aware sleep scheduling.
+//!
+//! A [`CorridorNetwork`] models corridors meeting at stations; the
+//! [`NetworkOptimizer`] runs the PR 5 deployment search over every edge
+//! (the exact same `evaluate_cell` the linear optimizer uses, through
+//! the same shared coverage cache) and then layers the Pollakis-style
+//! sleep schedule on top: boundary repeaters at shared stations sleep
+//! whenever a co-located neighbor can absorb their demand at a net
+//! energy win. The per-edge frontier renderings are byte-identical to
+//! the linear [`DeploymentOptimizer`](crate::DeploymentOptimizer)'s
+//! over the same cells — pinned by the differential tests — and the
+//! frontier stream is byte-identical across worker counts.
+
+mod graph;
+mod schedule;
+
+pub use graph::{CorridorEdge, CorridorNetwork, NetworkError};
+pub use schedule::SleepDecision;
+
+use core::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use corridor_core::sink::{RowEmitter, RowFormat, RowSink, StringSink};
+use corridor_core::ScenarioError;
+use corridor_deploy::{CoverageCache, LinkBudget};
+use rayon::prelude::*;
+
+use crate::engine::build_pool;
+use crate::optimize::{
+    evaluate_cell, render_optimize_row, FrontierPoint, OptimizeCellResult, SearchSpace,
+    OPTIMIZE_CSV_HEADER,
+};
+use crate::stream::{self, ChunkRows, RowPair, StreamError, StreamSummary};
+use crate::ScenarioCell;
+
+/// The CSV header of [`NetworkReport::schedule_csv`].
+pub const NETWORK_SCHEDULE_CSV_HEADER: &str =
+    "edge,edge_name,station,station_name,absorber_edge,absorber_name,slept_wh_day,\
+absorber_delta_wh_day,net_wh_day,absorbed_demand_tph";
+
+/// Runs the per-edge deployment search and the demand-aware sleep
+/// schedule over a [`CorridorNetwork`], serially or on the worker pool.
+///
+/// # Examples
+///
+/// ```
+/// use corridor_sim::{CorridorNetwork, NetworkOptimizer, SearchSpace};
+/// use corridor_units::Meters;
+///
+/// let net = CorridorNetwork::star(&[4.0, 8.0, 12.0]);
+/// let space = SearchSpace::new().sample_step(Meters::new(10.0));
+/// let report = NetworkOptimizer::new().workers(1).run(&net, &space).unwrap();
+/// assert_eq!(report.len(), 3);
+/// // the junction lets boundary repeaters sleep; a per-corridor
+/// // optimizer cannot see across the hub
+/// assert!(report.network_wh_day() <= report.corridor_wh_day());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkOptimizer {
+    workers: Option<usize>,
+    capacity_tph: f64,
+}
+
+impl NetworkOptimizer {
+    /// An optimizer with automatic worker count and the default 30
+    /// trains/h absorption capacity per boundary repeater.
+    pub fn new() -> Self {
+        NetworkOptimizer {
+            workers: None,
+            capacity_tph: 30.0,
+        }
+    }
+
+    /// Sets an explicit worker count (an explicit `0` is rejected at
+    /// run time, mirroring the other engines).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the aggregate demand (own + absorbed, trains per hour) one
+    /// boundary repeater may serve.
+    #[must_use]
+    pub fn capacity_tph(mut self, capacity: f64) -> Self {
+        self.capacity_tph = capacity;
+        self
+    }
+
+    /// Validates the network, searches every edge on the worker pool
+    /// and builds the sleep schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the graph's [`NetworkError`], a wrapped
+    /// [`ScenarioError`] for an invalid edge scenario, zero workers or
+    /// a pool-build failure.
+    pub fn run(
+        &self,
+        net: &CorridorNetwork,
+        space: &SearchSpace,
+    ) -> Result<NetworkReport, NetworkError> {
+        if self.workers == Some(0) {
+            return Err(ScenarioError::ZeroWorkers.into());
+        }
+        net.validate()?;
+        let work = Self::expand(net, space)?;
+        let pool = build_pool(self.workers).map_err(NetworkError::Scenario)?;
+        let results: Vec<OptimizeCellResult> = pool.install(|| {
+            work.par_iter()
+                .map(|(cell, cache)| evaluate_cell(cell, cache, space))
+                .collect()
+        });
+        self.fold(net, space, results)
+    }
+
+    /// [`NetworkOptimizer::run`] on the calling thread — the reference
+    /// path the parallel results are checked against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkOptimizer::run`].
+    pub fn run_serial(
+        &self,
+        net: &CorridorNetwork,
+        space: &SearchSpace,
+    ) -> Result<NetworkReport, NetworkError> {
+        if self.workers == Some(0) {
+            return Err(ScenarioError::ZeroWorkers.into());
+        }
+        net.validate()?;
+        let work = Self::expand(net, space)?;
+        let results: Vec<OptimizeCellResult> = work
+            .iter()
+            .map(|(cell, cache)| evaluate_cell(cell, cache, space))
+            .collect();
+        self.fold(net, space, results)
+    }
+
+    /// Streams the per-edge frontier rows into `sink` in edge order
+    /// without materializing the report; the emitted bytes are
+    /// identical to [`NetworkReport::frontier_csv`] /
+    /// [`NetworkReport::frontier_json`] whatever the worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkOptimizer::run`], plus
+    /// [`NetworkError::Stream`] if the sink refuses a row.
+    pub fn stream_frontier(
+        &self,
+        net: &CorridorNetwork,
+        space: &SearchSpace,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+    ) -> Result<StreamSummary, NetworkError> {
+        net.validate()?;
+        let workers = stream::resolve_workers(self.workers).map_err(NetworkError::Scenario)?;
+        let coverage: Mutex<Vec<(LinkBudget, Arc<CoverageCache>)>> = Mutex::new(Vec::new());
+        let mut rows = RowEmitter::begin(sink, format, OPTIMIZE_CSV_HEADER)
+            .map_err(|e| NetworkError::Stream(StreamError::Sink(e)))?;
+        let label = space.isd_search_label();
+        let summary = stream::drive(
+            workers,
+            0..net.edge_count(),
+            format,
+            |index| {
+                let cell = net.edge_cell(index)?;
+                let shared = shared_cache(&coverage, &cell, space);
+                let result = evaluate_cell(&cell, &shared, space);
+                Ok(ChunkRows {
+                    rows: vec![RowPair {
+                        csv: render_optimize_row(&result, label, RowFormat::Csv),
+                        json: render_optimize_row(&result, label, RowFormat::Json),
+                    }],
+                    cache_hits: 0,
+                    cache_misses: 0,
+                })
+            },
+            &mut |row| rows.row(row).map_err(StreamError::Sink),
+        )
+        .map_err(NetworkError::Stream)?;
+        rows.finish()
+            .map_err(|e| NetworkError::Stream(StreamError::Sink(e)))?;
+        Ok(summary)
+    }
+
+    /// Builds every edge cell and pairs it with the shared coverage
+    /// cache of its link budget (one cache per distinct budget).
+    #[allow(clippy::type_complexity)]
+    fn expand(
+        net: &CorridorNetwork,
+        space: &SearchSpace,
+    ) -> Result<Vec<(ScenarioCell, Arc<CoverageCache>)>, NetworkError> {
+        let caches: Mutex<Vec<(LinkBudget, Arc<CoverageCache>)>> = Mutex::new(Vec::new());
+        (0..net.edge_count())
+            .map(|index| {
+                let cell = net.edge_cell(index).map_err(NetworkError::Scenario)?;
+                let cache = shared_cache(&caches, &cell, space);
+                Ok((cell, cache))
+            })
+            .collect()
+    }
+
+    /// Picks each edge's least-energy frontier point, runs the sleep
+    /// schedule and assembles the report.
+    fn fold(
+        &self,
+        net: &CorridorNetwork,
+        space: &SearchSpace,
+        results: Vec<OptimizeCellResult>,
+    ) -> Result<NetworkReport, NetworkError> {
+        let picks: Vec<Option<FrontierPoint>> = results
+            .iter()
+            .map(|r| {
+                r.frontier()
+                    .iter()
+                    .min_by(|x, y| {
+                        x.energy_wh_day_km
+                            .total_cmp(&y.energy_wh_day_km)
+                            .then(x.nodes.cmp(&y.nodes))
+                    })
+                    .cloned()
+            })
+            .collect();
+        let plan = schedule::schedule_sleep(net, &picks, self.capacity_tph)
+            .map_err(NetworkError::Scenario)?;
+        Ok(NetworkReport {
+            network: net.clone(),
+            results,
+            picks,
+            plan,
+            isd_search: space.isd_search_label(),
+        })
+    }
+}
+
+impl Default for NetworkOptimizer {
+    /// Returns [`NetworkOptimizer::new`].
+    fn default() -> Self {
+        NetworkOptimizer::new()
+    }
+}
+
+/// Finds or lazily creates the shared coverage cache for a cell's link
+/// budget — the same one-cache-per-budget policy the linear optimizer
+/// applies, so the per-edge searches share SNR profiles.
+fn shared_cache(
+    caches: &Mutex<Vec<(LinkBudget, Arc<CoverageCache>)>>,
+    cell: &ScenarioCell,
+    space: &SearchSpace,
+) -> Arc<CoverageCache> {
+    let mut caches = caches.lock().expect("coverage cache lock");
+    let budget = cell.params().budget();
+    match caches.iter().find(|(b, _)| b == budget) {
+        Some((_, shared)) => Arc::clone(shared),
+        None => {
+            let shared = Arc::new(CoverageCache::with_sample_step(
+                budget.clone(),
+                space.sample_step_value(),
+            ));
+            caches.push((budget.clone(), Arc::clone(&shared)));
+            shared
+        }
+    }
+}
+
+/// The searched network: per-edge frontiers (in edge order), the
+/// least-energy pick per edge, and the committed sleep schedule, with
+/// deterministic CSV/JSON writers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkReport {
+    network: CorridorNetwork,
+    results: Vec<OptimizeCellResult>,
+    picks: Vec<Option<FrontierPoint>>,
+    plan: Vec<SleepDecision>,
+    isd_search: &'static str,
+}
+
+impl NetworkReport {
+    /// The per-edge search results, in edge order.
+    pub fn results(&self) -> &[OptimizeCellResult] {
+        &self.results
+    }
+
+    /// Number of searched edges.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if the network had no edges.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The network the report was built from.
+    pub fn network(&self) -> &CorridorNetwork {
+        &self.network
+    }
+
+    /// The ISD resolution label of the search.
+    pub fn isd_search(&self) -> &'static str {
+        self.isd_search
+    }
+
+    /// Each edge's least-energy frontier pick (`None` for an unsolvable
+    /// edge).
+    pub fn picks(&self) -> &[Option<FrontierPoint>] {
+        &self.picks
+    }
+
+    /// The committed sleep schedule, in greedy commit order.
+    pub fn plan(&self) -> &[SleepDecision] {
+        &self.plan
+    }
+
+    /// Edges without any feasible deployment.
+    pub fn unsolvable_edges(&self) -> usize {
+        self.picks.iter().filter(|p| p.is_none()).count()
+    }
+
+    /// Total daily energy of the per-corridor picks, Wh/day: each
+    /// edge's per-km frontier energy scaled by its physical length.
+    /// This is what independent per-corridor optimization would deploy.
+    pub fn corridor_wh_day(&self) -> f64 {
+        self.picks
+            .iter()
+            .enumerate()
+            .filter_map(|(e, p)| {
+                p.as_ref()
+                    .map(|p| p.energy_wh_day_km * self.network.edge(e).length_km_value())
+            })
+            .sum()
+    }
+
+    /// Net daily saving of the sleep schedule, Wh/day.
+    pub fn sleep_saving_wh_day(&self) -> f64 {
+        self.plan.iter().map(|d| d.net_wh_day).sum()
+    }
+
+    /// Total daily network energy after demand-aware sleep, Wh/day.
+    pub fn network_wh_day(&self) -> f64 {
+        self.corridor_wh_day() - self.sleep_saving_wh_day()
+    }
+
+    /// Streams the per-edge frontier chunks into `sink` in edge order;
+    /// byte-identical to the linear optimizer's rendering of the same
+    /// cells and to [`NetworkOptimizer::stream_frontier`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's [`SinkError`](corridor_core::sink::SinkError).
+    pub fn stream_frontier_into(
+        &self,
+        format: RowFormat,
+        sink: &mut dyn RowSink,
+    ) -> corridor_core::sink::SinkResult<u64> {
+        let mut rows = RowEmitter::begin(sink, format, OPTIMIZE_CSV_HEADER)?;
+        for r in &self.results {
+            rows.row(&render_optimize_row(r, self.isd_search, format))?;
+        }
+        rows.finish()
+    }
+
+    /// Renders the per-edge frontiers as CSV (the linear optimizer's
+    /// format, one line per frontier point).
+    pub fn frontier_csv(&self) -> String {
+        let mut sink = StringSink::with_capacity(4096);
+        self.stream_frontier_into(RowFormat::Csv, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Renders the per-edge frontiers as a JSON array of edge objects.
+    pub fn frontier_json(&self) -> String {
+        let mut sink = StringSink::with_capacity(8192);
+        self.stream_frontier_into(RowFormat::Json, &mut sink)
+            .expect("string sinks cannot fail");
+        sink.into_string()
+    }
+
+    /// Renders the sleep schedule as CSV
+    /// ([`NETWORK_SCHEDULE_CSV_HEADER`] plus one line per decision, in
+    /// commit order).
+    pub fn schedule_csv(&self) -> String {
+        let mut out = String::with_capacity(64 + 96 * self.plan.len());
+        out.push_str(NETWORK_SCHEDULE_CSV_HEADER);
+        out.push('\n');
+        for d in &self.plan {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{:.3},{:.3},{:.3},{}",
+                d.edge,
+                crate::report::csv_field(self.network.edge_name(d.edge)),
+                d.station,
+                crate::report::csv_field(self.network.station_name(d.station)),
+                d.absorber_edge,
+                crate::report::csv_field(self.network.edge_name(d.absorber_edge)),
+                d.slept_wh_day,
+                d.absorber_delta_wh_day,
+                d.net_wh_day,
+                d.absorbed_demand_tph,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corridor_units::Meters;
+
+    fn quick_space() -> SearchSpace {
+        SearchSpace::new().sample_step(Meters::new(10.0))
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let net = CorridorNetwork::line(&[8.0]);
+        let err = NetworkOptimizer::new()
+            .workers(0)
+            .run(&net, &quick_space())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NetworkError::Scenario(ScenarioError::ZeroWorkers)
+        ));
+    }
+
+    #[test]
+    fn disconnected_network_rejected_before_evaluation() {
+        let mut net = CorridorNetwork::line(&[8.0]);
+        net.add_station("island");
+        let err = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Disconnected(2)));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let net = CorridorNetwork::by_name("wye3").unwrap();
+        let serial = NetworkOptimizer::new()
+            .workers(1)
+            .run_serial(&net, &quick_space())
+            .unwrap();
+        let parallel = NetworkOptimizer::new()
+            .workers(4)
+            .run(&net, &quick_space())
+            .unwrap();
+        assert_eq!(serial.results(), parallel.results());
+        assert_eq!(serial.frontier_csv(), parallel.frontier_csv());
+        assert_eq!(serial.schedule_csv(), parallel.schedule_csv());
+    }
+
+    #[test]
+    fn picks_take_the_least_energy_point() {
+        let net = CorridorNetwork::line(&[8.0]);
+        let report = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap();
+        let pick = report.picks()[0].as_ref().unwrap();
+        let frontier = report.results()[0].frontier();
+        let min = frontier
+            .iter()
+            .map(|p| p.energy_wh_day_km)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(pick.energy_wh_day_km, min);
+        assert!(report.corridor_wh_day() > 0.0);
+    }
+
+    #[test]
+    fn schedule_totals_are_consistent() {
+        let net = CorridorNetwork::by_name("wye3").unwrap();
+        let report = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap();
+        let saving: f64 = report.plan().iter().map(|d| d.net_wh_day).sum();
+        assert!((report.sleep_saving_wh_day() - saving).abs() < 1e-12);
+        assert!((report.network_wh_day() - (report.corridor_wh_day() - saving)).abs() < 1e-9);
+        let csv = report.schedule_csv();
+        assert!(csv.starts_with(NETWORK_SCHEDULE_CSV_HEADER));
+        assert_eq!(csv.lines().count(), 1 + report.plan().len());
+    }
+}

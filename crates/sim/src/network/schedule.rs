@@ -1,0 +1,305 @@
+//! Demand-aware sleep scheduling over the network graph.
+//!
+//! The per-corridor optimizer answers "which deployment per edge"; this
+//! module answers the question it cannot ask: **which boundary
+//! repeaters can sleep entirely because a neighbor across the station
+//! absorbs their demand?** The formulation follows Pollakis et al.
+//! (arXiv 1503.08627): greedily shrink the active set while every
+//! demand stays served, here specialized to the rail-corridor geometry:
+//!
+//! * Each deployed edge parks one **boundary repeater** in the station
+//!   throat at each of its endpoints. Where several edges meet, their
+//!   boundary repeaters stand co-located with overlapping footprints —
+//!   so one awake repeater can serve the combined throat demand while
+//!   the others sleep, and the coverage margin along every corridor is
+//!   untouched (interior repeaters never move or sleep).
+//! * A sleeping boundary repeater saves its full daily energy (the
+//!   pick's per-repeater Wh/day). The absorber pays a duty-cycle
+//!   premium: its activity hours are re-priced analytically at
+//!   own-plus-absorbed demand, and the difference is the absorption
+//!   cost. A candidate is viable only when the saving strictly exceeds
+//!   the cost and the absorber stays within its demand capacity.
+//! * The greedy loop always takes the highest net saving next
+//!   (deterministic tie-breaks on edge, station and absorber indices),
+//!   so the schedule is a pure function of the network and the picks.
+
+use corridor_core::ScenarioError;
+use corridor_power::DutyCycle;
+use corridor_traffic::TrackSection;
+use corridor_units::{Hours, Meters};
+
+use crate::optimize::FrontierPoint;
+
+use super::graph::CorridorNetwork;
+
+/// One committed sleep decision of the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SleepDecision {
+    /// The station whose throat the sleeping repeater served.
+    pub station: usize,
+    /// The edge whose boundary repeater sleeps.
+    pub edge: usize,
+    /// The edge whose boundary repeater absorbs the demand.
+    pub absorber_edge: usize,
+    /// Daily energy of the slept repeater, Wh.
+    pub slept_wh_day: f64,
+    /// The absorber's duty-cycle premium for the extra demand, Wh/day.
+    pub absorber_delta_wh_day: f64,
+    /// Net network saving: slept energy minus absorption cost, Wh/day.
+    pub net_wh_day: f64,
+    /// The demand handed to the absorber, trains per hour.
+    pub absorbed_demand_tph: f64,
+}
+
+/// A boundary repeater's scheduling state at one `(edge, station)` slot.
+#[derive(Debug, Clone)]
+struct Boundary {
+    edge: usize,
+    station: usize,
+    /// Slept repeaters no longer exist for coverage or absorption.
+    slept: bool,
+    /// An absorber is pinned awake for the rest of the schedule.
+    pinned: bool,
+    /// Demand absorbed so far (on top of the edge's own), trains/h.
+    absorbed_tph: f64,
+}
+
+/// Prices one boundary repeater of `edge` at `tph` demand: activity
+/// hours from the analytic occupancy model at the pick's geometry, then
+/// a zero-idle duty cycle over the repeater power model.
+fn boundary_wh_day(
+    net: &CorridorNetwork,
+    edge: usize,
+    tph: f64,
+    isd: Meters,
+) -> Result<f64, ScenarioError> {
+    let params = net.edge_params_with_tph(edge, tph)?;
+    let section = TrackSection::around(isd / 2.0, params.lp_spacing());
+    let active = corridor_core::energy::active_hours(&params, section);
+    Ok(DutyCycle::over_day(active, Hours::ZERO)
+        .daily_energy(params.lp_node())
+        .value())
+}
+
+/// Builds the demand-aware sleep schedule for a network whose edges
+/// already have their per-corridor picks: a greedy minimum-active-set
+/// search over the boundary repeaters at shared stations.
+///
+/// `picks[e]` is edge `e`'s selected frontier point (`None` for an
+/// unsolvable edge, which neither sleeps nor absorbs); `capacity_tph`
+/// caps the aggregate demand (own + absorbed) one boundary repeater may
+/// serve.
+pub(crate) fn schedule_sleep(
+    net: &CorridorNetwork,
+    picks: &[Option<FrontierPoint>],
+    capacity_tph: f64,
+) -> Result<Vec<SleepDecision>, ScenarioError> {
+    // materialize every boundary slot: deployed edges only, stations
+    // where at least one *other* edge is incident (somebody must be
+    // there to absorb)
+    let mut slots: Vec<Boundary> = Vec::new();
+    for (e, pick) in picks.iter().enumerate() {
+        let Some(pick) = pick else { continue };
+        if pick.nodes == 0 {
+            continue;
+        }
+        let edge = net.edge(e);
+        for station in [edge.a(), edge.b()] {
+            if net.degree(station) >= 2 {
+                slots.push(Boundary {
+                    edge: e,
+                    station,
+                    slept: false,
+                    pinned: false,
+                    absorbed_tph: 0.0,
+                });
+            }
+        }
+    }
+
+    // per-edge sleep budget: at most two boundary repeaters (one per
+    // end) and never more than the edge actually deploys
+    let budget: Vec<usize> = picks
+        .iter()
+        .map(|p| p.as_ref().map_or(0, |p| p.nodes.min(2)))
+        .collect();
+    let mut slept_per_edge = vec![0usize; picks.len()];
+
+    let mut plan: Vec<SleepDecision> = Vec::new();
+    loop {
+        // evaluate every (sleeper, absorber) pair still on the table
+        let mut best: Option<(f64, usize, usize)> = None; // (net, sleeper slot, absorber slot)
+        for (si, sleeper) in slots.iter().enumerate() {
+            if sleeper.slept || sleeper.pinned {
+                continue;
+            }
+            if slept_per_edge[sleeper.edge] >= budget[sleeper.edge] {
+                continue;
+            }
+            let sleeper_pick = picks[sleeper.edge]
+                .as_ref()
+                .expect("slots only exist for picked edges");
+            let slept_wh = sleeper_pick.repeater_wh_day;
+            let handed_tph = net.edge(sleeper.edge).demand_tph();
+            for (ai, absorber) in slots.iter().enumerate() {
+                if ai == si
+                    || absorber.slept
+                    || absorber.station != sleeper.station
+                    || absorber.edge == sleeper.edge
+                {
+                    continue;
+                }
+                let own_tph = net.edge(absorber.edge).demand_tph();
+                let before_tph = own_tph + absorber.absorbed_tph;
+                let after_tph = before_tph + handed_tph;
+                if after_tph > capacity_tph {
+                    continue;
+                }
+                let absorber_pick = picks[absorber.edge]
+                    .as_ref()
+                    .expect("slots only exist for picked edges");
+                let before = boundary_wh_day(net, absorber.edge, before_tph, absorber_pick.isd)?;
+                let after = boundary_wh_day(net, absorber.edge, after_tph, absorber_pick.isd)?;
+                let delta = after - before;
+                let net_wh = slept_wh - delta;
+                if net_wh <= 1e-9 {
+                    continue;
+                }
+                // deterministic total order: saving first, then the
+                // lowest sleeper edge / station / absorber edge
+                let better = match &best {
+                    None => true,
+                    Some((best_net, best_si, best_ai)) => match net_wh.total_cmp(best_net) {
+                        core::cmp::Ordering::Greater => true,
+                        core::cmp::Ordering::Less => false,
+                        core::cmp::Ordering::Equal => {
+                            let key = (slots[si].edge, slots[si].station, slots[ai].edge);
+                            let best_key = (
+                                slots[*best_si].edge,
+                                slots[*best_si].station,
+                                slots[*best_ai].edge,
+                            );
+                            key < best_key
+                        }
+                    },
+                };
+                if better {
+                    best = Some((net_wh, si, ai));
+                }
+            }
+        }
+
+        let Some((net_wh, si, ai)) = best else {
+            break;
+        };
+        let handed_tph = net.edge(slots[si].edge).demand_tph();
+        let absorber_pick = picks[slots[ai].edge]
+            .as_ref()
+            .expect("slots only exist for picked edges");
+        let own_tph = net.edge(slots[ai].edge).demand_tph();
+        let before = boundary_wh_day(
+            net,
+            slots[ai].edge,
+            own_tph + slots[ai].absorbed_tph,
+            absorber_pick.isd,
+        )?;
+        let after = boundary_wh_day(
+            net,
+            slots[ai].edge,
+            own_tph + slots[ai].absorbed_tph + handed_tph,
+            absorber_pick.isd,
+        )?;
+        let sleeper_pick = picks[slots[si].edge]
+            .as_ref()
+            .expect("slots only exist for picked edges");
+        plan.push(SleepDecision {
+            station: slots[si].station,
+            edge: slots[si].edge,
+            absorber_edge: slots[ai].edge,
+            slept_wh_day: sleeper_pick.repeater_wh_day,
+            absorber_delta_wh_day: after - before,
+            net_wh_day: net_wh,
+            absorbed_demand_tph: handed_tph,
+        });
+        slept_per_edge[slots[si].edge] += 1;
+        slots[si].slept = true;
+        slots[ai].pinned = true;
+        slots[ai].absorbed_tph += handed_tph;
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkOptimizer, SearchSpace};
+
+    fn quick_space() -> SearchSpace {
+        SearchSpace::new().sample_step(Meters::new(10.0))
+    }
+
+    #[test]
+    fn star_junction_sleeps_boundary_repeaters() {
+        let net = CorridorNetwork::star(&[4.0, 8.0, 12.0]);
+        let report = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap();
+        let plan = report.plan();
+        assert!(!plan.is_empty(), "junction must admit at least one sleep");
+        for d in plan {
+            assert!(d.net_wh_day > 0.0);
+            assert!(d.slept_wh_day > d.absorber_delta_wh_day);
+            assert_eq!(d.station, 0, "star junctions sleep only at the hub");
+            assert_ne!(d.edge, d.absorber_edge);
+        }
+        // no boundary repeater absorbs and sleeps at once: slept edges
+        // never appear as absorbers at the same station
+        for d in plan {
+            assert!(!plan
+                .iter()
+                .any(|o| o.edge == d.absorber_edge && o.station == d.station));
+        }
+    }
+
+    #[test]
+    fn capacity_cap_blocks_absorption() {
+        let net = CorridorNetwork::star(&[4.0, 8.0, 12.0]);
+        let report = NetworkOptimizer::new()
+            .workers(1)
+            .capacity_tph(1.0) // nobody can absorb anything
+            .run(&net, &quick_space())
+            .unwrap();
+        assert!(report.plan().is_empty());
+        assert_eq!(report.network_wh_day(), report.corridor_wh_day());
+    }
+
+    #[test]
+    fn isolated_corridor_has_no_sleep_candidates() {
+        // a single edge has two degree-1 endpoints: no neighbor can
+        // absorb, so the schedule is empty and the network total equals
+        // the per-corridor total
+        let net = CorridorNetwork::line(&[8.0]);
+        let report = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap();
+        assert!(report.plan().is_empty());
+        assert_eq!(report.network_wh_day(), report.corridor_wh_day());
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let net = CorridorNetwork::by_name("wye3").unwrap();
+        let a = NetworkOptimizer::new()
+            .workers(1)
+            .run(&net, &quick_space())
+            .unwrap();
+        let b = NetworkOptimizer::new()
+            .workers(4)
+            .run(&net, &quick_space())
+            .unwrap();
+        assert_eq!(a.plan(), b.plan());
+        assert_eq!(a.schedule_csv(), b.schedule_csv());
+    }
+}

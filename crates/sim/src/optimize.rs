@@ -187,6 +187,18 @@ impl SearchSpace {
     pub fn candidates_per_cell(&self) -> usize {
         self.node_counts.len() * self.wake_policies.len()
     }
+
+    /// The ISD resolution label (shared with the network optimizer's
+    /// renderings).
+    pub(crate) fn isd_search_label(&self) -> &'static str {
+        self.isd_search.label()
+    }
+
+    /// The coverage-profile sampling step (shared with the network
+    /// optimizer's cache construction).
+    pub(crate) fn sample_step_value(&self) -> Meters {
+        self.sample_step
+    }
 }
 
 impl Default for SearchSpace {
@@ -589,7 +601,10 @@ fn cache_key(cell: &ScenarioCell, space: &SearchSpace) -> String {
 
 /// Searches one cell: resolve the ISD per count, evaluate every
 /// feasible `(count, policy)` candidate, keep the Pareto frontier.
-fn evaluate_cell(
+/// Shared with the network optimizer, whose per-edge search is exactly
+/// this function over edge-derived cells — the sharing is what makes
+/// the degenerate-path differential test a byte-for-byte identity.
+pub(crate) fn evaluate_cell(
     cell: &ScenarioCell,
     cache: &CoverageCache,
     space: &SearchSpace,

@@ -61,7 +61,8 @@ proptest! {
         let grid = ScenarioGrid::new()
             .trains_per_hour(take(TPH, n_tph))
             .train_speeds_kmh(take(SPEEDS, n_speed))
-            .repeater_nodes(nodes);
+            .repeater_nodes(nodes)
+            .unwrap();
         let engine = SweepEngine::new().pv_sizing(false);
         let serial = engine.run_serial(&grid).unwrap();
         let parallel = engine.workers(workers).run(&grid).unwrap();
@@ -80,7 +81,8 @@ proptest! {
         let grid = ScenarioGrid::new()
             .trains_per_hour(vec![tph])
             .train_speeds_kmh(vec![speed])
-            .repeater_nodes(nodes);
+            .repeater_nodes(nodes)
+            .unwrap();
         let report = SweepEngine::new().workers(1).pv_sizing(false).run(&grid).unwrap();
         for strategy in [
             EnergyStrategy::ContinuousRepeaters,
@@ -117,7 +119,7 @@ fn one_cell_grid_reproduces_paper_headline_exactly() {
     let one_node = SweepEngine::new()
         .workers(1)
         .pv_sizing(false)
-        .run(&ScenarioGrid::new().repeater_nodes(1))
+        .run(&ScenarioGrid::new().repeater_nodes(1).unwrap())
         .unwrap();
     let r1 = &one_node.results()[0];
     assert_eq!(

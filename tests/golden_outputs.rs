@@ -64,3 +64,4 @@ golden_test!(isd_sweep);
 golden_test!(poisson_stats);
 golden_test!(mc_smoke);
 golden_test!(optimize_smoke);
+golden_test!(network_smoke);
