@@ -2,9 +2,9 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc optimize network-smoke serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
+.PHONY: ci fmt-check clippy build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
 
-ci: fmt-check clippy build test golden differential mc optimize network-smoke serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
+ci: fmt-check clippy build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
 fmt-check:
 	cargo fmt --all --check
@@ -45,6 +45,14 @@ optimize:
 network-smoke:
 	cargo run -q --release -p corridor_bench --bin network -- --smoke | diff - docs/results/network_smoke.txt
 	cargo test -q -p corridor_sim --test network
+
+# Network-day differential: the time-domain backend over the topology
+# (routed itineraries, junction-consistent days) and the Pollakis
+# margin-trading scheduler — SHA-pinned reproduction of the boundary-only
+# schedule at `margin_floor = current margin`, interior-sleep wins under
+# a relaxed floor, and floor properties over random topologies.
+network-differential:
+	cargo test -q -p corridor_sim --test network_day
 
 # Streaming serve smoke: the sharded worker-process service answers the
 # committed requests with the committed byte stream (mixed-8 sweep in

@@ -2,17 +2,24 @@
 //! the repository root (`make bench-snapshot`).
 //!
 //! Each snapshot measures one hot path single-threaded — raw event
-//! throughput, serial Monte-Carlo cell-days/s, serial sweep cells/s —
-//! and records it against the fixed pre-overhaul baseline. The guard
-//! test in `tests/bench_snapshots.rs` keeps the committed values above
-//! the PR-6 floors, so run this on a quiet machine and eyeball the
-//! diff before committing.
+//! throughput, serial Monte-Carlo cell-days/s, serial sweep cells/s,
+//! serial network-day edge-days/s — and records it against its fixed
+//! baseline. The guard test in `tests/bench_snapshots.rs` keeps the
+//! committed values above the floors, so run this on a quiet machine
+//! and eyeball the diff before committing.
 
-use corridor_bench::snapshot::{measure_events, measure_mc, measure_sweep, Snapshot};
+use corridor_bench::snapshot::{
+    measure_events, measure_mc, measure_network, measure_sweep, Snapshot,
+};
 
 fn main() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    for snap in [measure_events(), measure_mc(), measure_sweep()] {
+    for snap in [
+        measure_events(),
+        measure_mc(),
+        measure_sweep(),
+        measure_network(),
+    ] {
         write_snapshot(root, &snap);
     }
 }

@@ -1,19 +1,26 @@
 //! Rail-network optimizer: searches the deployment frontier of every
 //! corridor edge of a network topology and schedules demand-aware sleep
 //! at shared stations (greedy minimum-active-set over boundary
-//! repeaters), printing the summary, the sleep schedule and the
-//! frontier CSV/JSON.
+//! repeaters, and — under `--margin-floor` — the full Pollakis search
+//! that trades interior coverage margin for sleep), printing the
+//! summary, the sleep schedule and the frontier CSV/JSON. With
+//! `--simulate` it switches to the time-domain backend: edge demands
+//! are decomposed into junction-crossing routes and every edge replays
+//! seeded stochastic days through the shared-itinerary event engine.
 //!
 //! ```console
 //! $ cargo run --release -p corridor_bench --bin network -- --help
 //! $ cargo run --release -p corridor_bench --bin network -- --topology star4
+//! $ cargo run --release -p corridor_bench --bin network -- --margin-floor -3
+//! $ cargo run --release -p corridor_bench --bin network -- --simulate --reps 50 --seed 7
 //! $ cargo run --release -p corridor_bench --bin network -- --csv --workers 8 > frontier.csv
 //! $ cargo run --release -p corridor_bench --bin network -- --smoke
 //! ```
 //!
-//! Stdout depends only on the options: the frontier rows stream through
-//! the `RowSink` layer in edge order whatever `--workers` says, so piped
-//! output is byte-reproducible; wall-clock timing goes to stderr.
+//! Stdout depends only on the options: the frontier and day rows stream
+//! through the `RowSink` layer in edge order whatever `--workers` says,
+//! so piped output is byte-reproducible; wall-clock timing goes to
+//! stderr.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -22,7 +29,7 @@ use std::time::Instant;
 use corridor_bench::render;
 use corridor_core::sink::{RowFormat, WriteSink};
 use corridor_core::units::Meters;
-use corridor_sim::{CorridorNetwork, IsdSearch, NetworkOptimizer, SearchSpace};
+use corridor_sim::{CorridorNetwork, IsdSearch, NetworkDayEngine, NetworkOptimizer, SearchSpace};
 
 const USAGE: &str = "\
 usage: network [options]
@@ -33,11 +40,21 @@ options:
                 (cached 50 m-step max-ISD search under the link budget)
   --capacity C  aggregate demand one boundary repeater may absorb,
                 trains/h (default: 30)
+  --margin-floor F
+                enable margin-trading sleep: interior repeaters may
+                sleep while every edge's residual coverage margin stays
+                >= F dB (default: off, boundary-only schedule)
   --sample-step S
                 coverage-profile sampling step in metres (default: 10)
   --workers N   worker threads, 0 = auto (default: 0)
-  --csv         stream the frontier CSV instead of the summary
-  --json        stream the frontier JSON instead of the summary
+  --simulate    replay stochastic network days through the time-domain
+                backend (routed itineraries, junction-consistent) and
+                report per-edge Monte-Carlo statistics
+  --reps N      replications per edge under --simulate (default: 20)
+  --seed S      master seed of the day sampler under --simulate
+                (default: 42)
+  --csv         stream the frontier (or day) CSV instead of the summary
+  --json        stream the frontier (or day) JSON instead of the summary
   --smoke       print the committed network_smoke golden rendering and
                 exit (fixed configuration; not combinable)
   --help        this text
@@ -47,7 +64,11 @@ struct Options {
     topology: String,
     space: SearchSpace,
     capacity: Option<f64>,
+    margin_floor: Option<f64>,
     workers: usize,
+    simulate: bool,
+    reps: Option<usize>,
+    seed: Option<u64>,
     csv: bool,
     json: bool,
     smoke: bool,
@@ -58,7 +79,11 @@ fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
         topology: "wye3".into(),
         space: SearchSpace::new().sample_step(Meters::new(10.0)),
         capacity: None,
+        margin_floor: None,
         workers: 0,
+        simulate: false,
+        reps: None,
+        seed: None,
         csv: false,
         json: false,
         smoke: false,
@@ -94,6 +119,32 @@ fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
                 }
                 opts.capacity = Some(cap);
             }
+            "--margin-floor" => {
+                let floor: f64 = value("--margin-floor")?
+                    .parse()
+                    .map_err(|e| format!("--margin-floor: {e}"))?;
+                if !floor.is_finite() {
+                    return Err("--margin-floor must be finite".into());
+                }
+                opts.margin_floor = Some(floor);
+            }
+            "--simulate" => opts.simulate = true,
+            "--reps" => {
+                let reps: usize = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
+                if reps == 0 {
+                    return Err("--reps must be positive".into());
+                }
+                opts.reps = Some(reps);
+            }
+            "--seed" => {
+                opts.seed = Some(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
+            }
             "--sample-step" => {
                 let step: f64 = value("--sample-step")?
                     .parse()
@@ -125,6 +176,16 @@ fn parse(mut args: std::env::Args) -> Result<Option<Options>, String> {
     if opts.csv && opts.json {
         return Err("--csv and --json are mutually exclusive".into());
     }
+    if !opts.simulate && (opts.reps.is_some() || opts.seed.is_some()) {
+        return Err("--reps/--seed only apply to --simulate".into());
+    }
+    if opts.simulate && opts.margin_floor.is_some() {
+        return Err(
+            "--simulate prices the deployment picks before any margin is traded; \
+             drop --margin-floor"
+                .into(),
+        );
+    }
     Ok(Some(opts))
 }
 
@@ -148,12 +209,18 @@ fn main() -> ExitCode {
     }
 
     let net = CorridorNetwork::by_name(&opts.topology).expect("validated by parse");
+    if opts.simulate {
+        return simulate(&opts, &net);
+    }
     let mut optimizer = NetworkOptimizer::new();
     if opts.workers > 0 {
         optimizer = optimizer.workers(opts.workers);
     }
     if let Some(cap) = opts.capacity {
         optimizer = optimizer.capacity_tph(cap);
+    }
+    if let Some(floor) = opts.margin_floor {
+        optimizer = optimizer.margin_floor_db(floor);
     }
 
     let started = Instant::now();
@@ -231,22 +298,59 @@ fn main() -> ExitCode {
         }
     }
     println!();
-    println!(
-        "sleep schedule: {} boundary repeater(s) sleep, {:.3} Wh/day net saving",
-        report.plan().len(),
-        report.sleep_saving_wh_day()
-    );
+    match opts.margin_floor {
+        None => println!(
+            "sleep schedule: {} boundary repeater(s) sleep, {:.3} Wh/day net saving",
+            report.plan().len(),
+            report.sleep_saving_wh_day()
+        ),
+        Some(floor) => {
+            let interior = report
+                .plan()
+                .iter()
+                .filter(|d| d.repeater.is_some())
+                .count();
+            println!(
+                "sleep schedule ({floor} dB floor): {} boundary + {interior} interior \
+                 repeater(s) sleep, {:.3} Wh/day net saving",
+                report.plan().len() - interior,
+                report.sleep_saving_wh_day()
+            );
+        }
+    }
     for d in report.plan() {
-        println!(
-            "  station {} ({}): edge {} sleeps into edge {} \
-             (+{} t/h absorbed, net {:.3} Wh/day)",
-            d.station,
-            report.network().station_name(d.station),
-            d.edge,
-            d.absorber_edge,
-            d.absorbed_demand_tph,
-            d.net_wh_day,
-        );
+        match d.repeater {
+            None => println!(
+                "  station {} ({}): edge {} sleeps into edge {} \
+                 (+{} t/h absorbed, net {:.3} Wh/day)",
+                d.station,
+                report.network().station_name(d.station),
+                d.edge,
+                d.absorber_edge,
+                d.absorbed_demand_tph,
+                d.net_wh_day,
+            ),
+            Some(k) => println!(
+                "  edge {} ({}): interior repeater {k} sleeps into its neighbor \
+                 (margin cost {:.3} dB, net {:.3} Wh/day)",
+                d.edge,
+                report.network().edge_name(d.edge),
+                d.margin_cost_db,
+                d.net_wh_day,
+            ),
+        }
+    }
+    if opts.margin_floor.is_some() {
+        let margins: Vec<String> = report
+            .residual_margins()
+            .iter()
+            .enumerate()
+            .map(|(e, m)| match m {
+                Some(m) => format!("{} {:.3} dB", report.network().edge_name(e), m),
+                None => format!("{} n/a", report.network().edge_name(e)),
+            })
+            .collect();
+        println!("residual margins: {}", margins.join(", "));
     }
     println!(
         "totals: per-corridor {:.3} Wh/day -> network {:.3} Wh/day",
@@ -263,6 +367,113 @@ fn main() -> ExitCode {
         } else {
             opts.workers.to_string()
         }
+    );
+    ExitCode::SUCCESS
+}
+
+/// The `--simulate` path: decomposes the edge demands into routes,
+/// replays seeded stochastic days through the time-domain backend and
+/// prints the per-edge Monte-Carlo summary (or streams the day rows).
+fn simulate(opts: &Options, net: &CorridorNetwork) -> ExitCode {
+    let mut engine = NetworkDayEngine::new();
+    if opts.workers > 0 {
+        engine = engine.workers(opts.workers);
+    }
+    if let Some(reps) = opts.reps {
+        engine = engine.reps(reps);
+    }
+    if let Some(seed) = opts.seed {
+        engine = engine.seed(seed);
+    }
+    let workers_label = if opts.workers == 0 {
+        "auto".to_string()
+    } else {
+        opts.workers.to_string()
+    };
+
+    let started = Instant::now();
+    if opts.csv || opts.json {
+        let format = if opts.csv {
+            RowFormat::Csv
+        } else {
+            RowFormat::Json
+        };
+        let stdout = std::io::stdout();
+        let mut sink = WriteSink::new(std::io::BufWriter::new(stdout.lock()));
+        let summary = match engine.stream(net, &opts.space, format, &mut sink) {
+            Ok(summary) => summary,
+            Err(err) => {
+                eprintln!("network: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut writer = sink.into_inner();
+        if writer.flush().is_err() {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "streamed {} day row(s) in {:.0} ms (workers: {workers_label})",
+            summary.cells,
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match engine.run(net, &opts.space) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("network: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+
+    println!("Rail-network day simulator — routed itineraries, junction-consistent days");
+    println!();
+    println!(
+        "topology: {} ({} stations, {} edges)  reps: {}  seed: {}",
+        opts.topology,
+        report.network().station_count(),
+        report.network().edge_count(),
+        report.reps(),
+        report.seed(),
+    );
+    println!(
+        "routes: {} ({} junction-crossing), mean {:.1} crossings/day",
+        report.routes().len(),
+        report
+            .routes()
+            .iter()
+            .filter(|r| r.legs().len() >= 2)
+            .count(),
+        report.crossings_per_day(),
+    );
+    for s in report.per_edge() {
+        println!(
+            "edge {} ({}): {} t/h over {} route(s) -> {} nodes @ {:.0} m, \
+             {:.3} +/- {:.3} Wh/day ({:.2} passes, {:.2} wakes per day)",
+            s.edge,
+            report.network().edge_name(s.edge),
+            s.demand_tph,
+            s.routes,
+            s.nodes,
+            s.isd_m,
+            s.mean_wh_day,
+            s.ci95_wh_day,
+            s.mean_passes,
+            s.mean_wakes,
+        );
+    }
+    println!();
+    println!(
+        "network: {:.3} Wh/day (sum of per-edge means)",
+        report.network_mean_wh_day()
+    );
+
+    eprintln!(
+        "simulated {} edge-day(s) in {:.0} ms (workers: {workers_label})",
+        report.per_edge().len() * report.reps(),
+        elapsed.as_secs_f64() * 1e3,
     );
     ExitCode::SUCCESS
 }

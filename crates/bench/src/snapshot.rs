@@ -1,12 +1,13 @@
 //! Machine-readable throughput snapshots (`BENCH_events.json`,
-//! `BENCH_mc.json`, `BENCH_sweep.json`).
+//! `BENCH_mc.json`, `BENCH_sweep.json`, `BENCH_network.json`).
 //!
-//! The `bench_snapshot` binary re-measures the three hot paths and
+//! The `bench_snapshot` binary re-measures the four hot paths and
 //! rewrites the snapshots at the repository root; they are committed so
 //! the perf trajectory is tracked commit-over-commit the same way the
 //! goldens under `docs/results/` track output bytes. The guard test in
 //! `tests/bench_snapshots.rs` keeps the committed values above the
-//! PR-6 floors and (opt-in) re-measures against them.
+//! floors (PR 6 for the first three, PR 9 for the network day) and
+//! (opt-in) re-measures against them.
 //!
 //! The rendered JSON is deterministic — no timestamps, fixed field
 //! order, fixed float formatting — so regenerating on the same machine
@@ -18,7 +19,10 @@ use std::time::Instant;
 use corridor_core::traffic::Timetable;
 use corridor_core::units::Meters;
 use corridor_events::{segment_nodes, CorridorSimulator, WakePolicy};
-use corridor_sim::{McEngine, ReplicationPlan, ScenarioGrid, SweepEngine};
+use corridor_sim::{
+    CorridorNetwork, McEngine, NetworkDayEngine, ReplicationPlan, ScenarioGrid, SearchSpace,
+    SweepEngine,
+};
 
 /// Pre-overhaul (PR 5) events/s on the paper segment, the snapshot's
 /// fixed comparison point.
@@ -27,6 +31,10 @@ pub const EVENTS_BASELINE: f64 = 8.0e6;
 pub const MC_BASELINE: f64 = 700.0;
 /// Pre-overhaul serial sweep cells/s (PV sizing on) on the screening grid.
 pub const SWEEP_BASELINE: f64 = 110.0;
+/// Serial network-day edge-days/s on the wye junction at the backend's
+/// introduction (PR 9) — the fixed comparison point for the time-domain
+/// network backend.
+pub const NETWORK_BASELINE: f64 = 100.0;
 
 /// Required multiple over [`EVENTS_BASELINE`] (the PR-6 target: ≥5×).
 pub const EVENTS_REQUIRED_SPEEDUP: f64 = 5.0;
@@ -34,6 +42,10 @@ pub const EVENTS_REQUIRED_SPEEDUP: f64 = 5.0;
 pub const MC_REQUIRED_SPEEDUP: f64 = 5.0;
 /// Required multiple over [`SWEEP_BASELINE`] (the PR-6 target: ≥3×).
 pub const SWEEP_REQUIRED_SPEEDUP: f64 = 3.0;
+/// Required multiple over [`NETWORK_BASELINE`]: the backend lands with
+/// PR 9, so the floor is the introduction figure itself (≥1×) — it only
+/// guards against future regressions.
+pub const NETWORK_REQUIRED_SPEEDUP: f64 = 1.0;
 
 /// One committed throughput measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +185,27 @@ pub fn measure_sweep() -> Snapshot {
         metric: "cells_per_second".into(),
         value: report.results().len() as f64 / started.elapsed().as_secs_f64().max(1e-9),
         baseline: SWEEP_BASELINE,
+        host_cores: host_cores(),
+    }
+}
+
+/// Measures serial network-day throughput: the wye3 junction through
+/// the time-domain backend (routed itineraries, shared days), 40
+/// replications per edge, one worker.
+pub fn measure_network() -> Snapshot {
+    let net = CorridorNetwork::by_name("wye3").expect("committed topology");
+    let space = SearchSpace::new().sample_step(Meters::new(10.0));
+    let engine = NetworkDayEngine::new().workers(1).reps(40);
+
+    let _ = engine.reps(1).run(&net, &space); // warm the coverage search
+    let started = Instant::now();
+    let report = engine.run(&net, &space).expect("wye3 is valid");
+    Snapshot {
+        name: "network".into(),
+        metric: "edge_days_per_second".into(),
+        value: (report.per_edge().len() * report.reps()) as f64
+            / started.elapsed().as_secs_f64().max(1e-9),
+        baseline: NETWORK_BASELINE,
         host_cores: host_cores(),
     }
 }

@@ -1,10 +1,11 @@
 //! Guards the committed `BENCH_*.json` throughput snapshots.
 //!
 //! Always: every snapshot must parse, be internally consistent, and sit
-//! above its PR-6 floor (≥5× events/s, ≥5× Monte-Carlo cell-days/s,
-//! ≥3× sweep cells/s over the pre-overhaul baselines) — so a committed
-//! regression below the order-of-magnitude overhaul's floor fails even
-//! on a loaded CI runner, without re-measuring anything.
+//! above its floor (≥5× events/s, ≥5× Monte-Carlo cell-days/s, ≥3×
+//! sweep cells/s over the PR-6 pre-overhaul baselines; ≥1× the PR-9
+//! introduction figure for network-day edge-days/s) — so a committed
+//! regression below the floor fails even on a loaded CI runner, without
+//! re-measuring anything.
 //!
 //! Opt-in (`BENCH_SNAPSHOT_VERIFY=1`, release builds only): re-measures
 //! each path on this machine and fails if it lands >20 % below the
@@ -13,12 +14,13 @@
 //! throughput says nothing about the committed release numbers.
 
 use corridor_bench::snapshot::{
-    measure_events, measure_mc, measure_sweep, Snapshot, EVENTS_BASELINE, EVENTS_REQUIRED_SPEEDUP,
-    MC_BASELINE, MC_REQUIRED_SPEEDUP, SWEEP_BASELINE, SWEEP_REQUIRED_SPEEDUP,
+    measure_events, measure_mc, measure_network, measure_sweep, Snapshot, EVENTS_BASELINE,
+    EVENTS_REQUIRED_SPEEDUP, MC_BASELINE, MC_REQUIRED_SPEEDUP, NETWORK_BASELINE,
+    NETWORK_REQUIRED_SPEEDUP, SWEEP_BASELINE, SWEEP_REQUIRED_SPEEDUP,
 };
 
 /// (file stem, metric, pinned baseline, required multiple).
-const EXPECTED: [(&str, &str, f64, f64); 3] = [
+const EXPECTED: [(&str, &str, f64, f64); 4] = [
     (
         "events",
         "events_per_second",
@@ -36,6 +38,12 @@ const EXPECTED: [(&str, &str, f64, f64); 3] = [
         "cells_per_second",
         SWEEP_BASELINE,
         SWEEP_REQUIRED_SPEEDUP,
+    ),
+    (
+        "network",
+        "edge_days_per_second",
+        NETWORK_BASELINE,
+        NETWORK_REQUIRED_SPEEDUP,
     ),
 ];
 
@@ -88,6 +96,7 @@ fn remeasured_throughput_is_within_20_percent_of_committed() {
         ("events", measure_events as fn() -> Snapshot),
         ("mc", measure_mc),
         ("sweep", measure_sweep),
+        ("network", measure_network),
     ] {
         let pinned = committed(name);
         let fresh = measure();

@@ -47,6 +47,7 @@ pub mod energy;
 mod evaluator;
 pub mod experiments;
 pub mod hash;
+pub mod margin;
 pub mod pareto;
 pub mod report;
 mod scenario;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use crate::energy::{self, SegmentEnergy};
     pub use crate::experiments;
     pub use crate::hash::{sha256_hex, Sha256};
+    pub use crate::margin::{MarginLedger, MarginModel};
     pub use crate::sink::{
         DigestSink, RowEmitter, RowFormat, RowSink, SinkError, SinkResult, StringSink, WriteSink,
     };

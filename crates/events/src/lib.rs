@@ -23,7 +23,12 @@
 //!   form cannot express;
 //! * a [`SegmentReplicator`] that prepares one segment geometry once and
 //!   replays many seeded days through it — the entry point Monte-Carlo
-//!   replication sweeps use to amortize setup across seeds.
+//!   replication sweeps use to amortize setup across seeds;
+//! * a [`NetworkDaySimulator`] that lifts the backend from one segment
+//!   to a rail **topology**: shared [`TrainItinerary`]s traverse
+//!   [`Leg`]s edge by edge, so adjacent corridors replay the *same*
+//!   trains at junction-consistent times — the event backend of the
+//!   network-day engine in `corridor_sim`.
 //!
 //! With [`WakePolicy::instant`] the simulated energy split matches the
 //! analytic backend to float precision on every deterministic paper
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod evaluator;
+mod network;
 mod node;
 mod queue;
 mod replicate;
@@ -62,6 +68,7 @@ mod trace;
 mod wake;
 
 pub use evaluator::EventDrivenEvaluator;
+pub use network::{Leg, NetworkDaySimulator, TrainItinerary};
 pub use node::{segment_nodes, NodeKind, NodeSpec};
 pub use queue::{Event, EventKind, EventQueue};
 pub use replicate::SegmentReplicator;

@@ -85,7 +85,8 @@ pub use mc::{
     McCellResult, McEngine, McMetric, McReport, ReplicationPlan, TrafficSpec, MC_CSV_HEADER,
 };
 pub use network::{
-    CorridorEdge, CorridorNetwork, NetworkError, NetworkOptimizer, NetworkReport, SleepDecision,
+    CorridorEdge, CorridorNetwork, EdgeDayStats, NetworkDayEngine, NetworkDayReport, NetworkError,
+    NetworkOptimizer, NetworkReport, SleepDecision, TrainRoute, NETWORK_DAY_CSV_HEADER,
     NETWORK_SCHEDULE_CSV_HEADER,
 };
 pub use optimize::{

@@ -34,6 +34,13 @@ pub enum NetworkError {
     /// An edge connected a station to itself — corridor segments join
     /// *distinct* stations.
     SelfLoop(usize),
+    /// Two stations share one id (name); the payload is the index of the
+    /// second occurrence. Duplicate ids would make schedule rows and
+    /// demand routing ambiguous.
+    DuplicateStation(usize),
+    /// An edge's physical length is zero, negative or not finite; the
+    /// payload is the index the edge would have taken.
+    InvalidEdgeLength(usize),
     /// The graph is not connected; the payload is a station unreachable
     /// from station 0.
     Disconnected(usize),
@@ -52,6 +59,12 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::SelfLoop(i) => {
                 write!(f, "edge connects station {i} to itself")
+            }
+            NetworkError::DuplicateStation(i) => {
+                write!(f, "station {i} duplicates an earlier station id")
+            }
+            NetworkError::InvalidEdgeLength(i) => {
+                write!(f, "edge {i} has a non-positive or non-finite length")
             }
             NetworkError::Disconnected(i) => {
                 write!(f, "network is disconnected: station {i} is unreachable")
@@ -316,6 +329,21 @@ impl CorridorNetwork {
         self
     }
 
+    /// The network-wide daily service window in hours.
+    pub(crate) fn shared_window_h(&self) -> f64 {
+        self.service_window_h
+    }
+
+    /// The network-wide repeater spacing in metres.
+    pub(crate) fn shared_lp_spacing_m(&self) -> f64 {
+        self.lp_spacing_m
+    }
+
+    /// The network-wide conventional reference ISD in metres.
+    pub(crate) fn shared_conventional_isd_m(&self) -> f64 {
+        self.conventional_isd_m
+    }
+
     /// Adds a station and returns its index.
     pub fn add_station(&mut self, name: &str) -> usize {
         self.stations.push(name.to_owned());
@@ -327,8 +355,9 @@ impl CorridorNetwork {
     /// # Errors
     ///
     /// Returns [`NetworkError::UnknownStation`] if either endpoint does
-    /// not exist, or [`NetworkError::SelfLoop`] if both endpoints are
-    /// the same station.
+    /// not exist, [`NetworkError::SelfLoop`] if both endpoints are the
+    /// same station, or [`NetworkError::InvalidEdgeLength`] if the
+    /// edge's physical length is zero, negative or not finite.
     pub fn add_edge(&mut self, edge: CorridorEdge) -> Result<usize, NetworkError> {
         for end in [edge.a, edge.b] {
             if end >= self.stations.len() {
@@ -337,6 +366,9 @@ impl CorridorNetwork {
         }
         if edge.a == edge.b {
             return Err(NetworkError::SelfLoop(edge.a));
+        }
+        if !(edge.length_km.is_finite() && edge.length_km > 0.0) {
+            return Err(NetworkError::InvalidEdgeLength(self.edges.len()));
         }
         let index = self.edges.len();
         let name = edge.name.clone().unwrap_or_else(|| format!("e{index}"));
@@ -388,17 +420,24 @@ impl CorridorNetwork {
         self.incident_edges(station).len()
     }
 
-    /// Checks the graph is non-empty and connected.
+    /// Checks the graph is non-empty, free of duplicate station ids and
+    /// connected.
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::Empty`] for a station-less network, or
-    /// [`NetworkError::Disconnected`] naming a station unreachable from
-    /// station 0. A single isolated station is a valid (degenerate)
-    /// network.
+    /// Returns [`NetworkError::Empty`] for a station-less network,
+    /// [`NetworkError::DuplicateStation`] naming the second occurrence
+    /// of a repeated station id, or [`NetworkError::Disconnected`]
+    /// naming a station unreachable from station 0. A single isolated
+    /// station is a valid (degenerate) network.
     pub fn validate(&self) -> Result<(), NetworkError> {
         if self.stations.is_empty() {
             return Err(NetworkError::Empty);
+        }
+        for (i, name) in self.stations.iter().enumerate() {
+            if self.stations[..i].iter().any(|earlier| earlier == name) {
+                return Err(NetworkError::DuplicateStation(i));
+            }
         }
         // breadth-first sweep from station 0 over the undirected edges
         let mut seen = vec![false; self.stations.len()];
@@ -572,6 +611,40 @@ mod tests {
     }
 
     #[test]
+    fn add_edge_rejects_degenerate_lengths() {
+        let mut net = CorridorNetwork::new();
+        let a = net.add_station("a");
+        let b = net.add_station("b");
+        for km in [0.0, -3.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    net.add_edge(CorridorEdge::between(a, b).length_km(km)),
+                    Err(NetworkError::InvalidEdgeLength(0))
+                ),
+                "length {km} must be rejected"
+            );
+        }
+        assert_eq!(net.edge_count(), 0, "rejected edges must not be kept");
+        net.add_edge(CorridorEdge::between(a, b).length_km(0.5))
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_station_ids() {
+        let mut net = CorridorNetwork::new();
+        let a = net.add_station("hub");
+        let b = net.add_station("east");
+        net.add_edge(CorridorEdge::between(a, b)).unwrap();
+        net.validate().unwrap();
+        let dup = net.add_station("hub");
+        net.add_edge(CorridorEdge::between(b, dup)).unwrap();
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::DuplicateStation(i)) if i == dup
+        ));
+    }
+
+    #[test]
     fn validate_flags_empty_and_disconnected() {
         assert!(matches!(
             CorridorNetwork::new().validate(),
@@ -651,6 +724,12 @@ mod tests {
         assert!(NetworkError::Disconnected(2)
             .to_string()
             .contains("unreachable"));
+        assert!(NetworkError::DuplicateStation(4)
+            .to_string()
+            .contains("duplicates"));
+        assert!(NetworkError::InvalidEdgeLength(1)
+            .to_string()
+            .contains("length"));
         let wrapped: NetworkError = ScenarioError::InvalidServiceWindow.into();
         assert!(wrapped.to_string().contains("service window"));
         assert!(std::error::Error::source(&wrapped).is_some());

@@ -1,22 +1,37 @@
-//! The corridor-network layer: graph model, per-edge Pareto search and
-//! demand-aware sleep scheduling.
+//! The corridor-network layer: graph model, per-edge Pareto search,
+//! Pollakis sleep scheduling and the stochastic network day.
 //!
 //! A [`CorridorNetwork`] models corridors meeting at stations; the
-//! [`NetworkOptimizer`] runs the PR 5 deployment search over every edge
-//! (the exact same `evaluate_cell` the linear optimizer uses, through
-//! the same shared coverage cache) and then layers the Pollakis-style
-//! sleep schedule on top: boundary repeaters at shared stations sleep
-//! whenever a co-located neighbor can absorb their demand at a net
-//! energy win. The per-edge frontier renderings are byte-identical to
-//! the linear [`DeploymentOptimizer`](crate::DeploymentOptimizer)'s
-//! over the same cells — pinned by the differential tests — and the
-//! frontier stream is byte-identical across worker counts.
+//! [`NetworkOptimizer`] runs the deployment search over every edge (the
+//! exact same `evaluate_cell` the linear optimizer uses, through the
+//! same shared coverage cache) and then layers the Pollakis
+//! minimum-active-set sleep schedule on top: boundary repeaters at
+//! shared stations sleep whenever a co-located neighbor can absorb
+//! their demand at a net energy win, and — with a
+//! [`NetworkOptimizer::margin_floor_db`] below the picks' own margins —
+//! interior repeaters join the candidate set, trading coverage margin
+//! for energy against the simulated network day. The
+//! [`NetworkDayEngine`] runs that day end to end: edge demands
+//! decompose into junction-crossing train routes, Poisson itineraries
+//! drive every edge's event stream through
+//! [`NetworkDaySimulator`](corridor_events::NetworkDaySimulator), and
+//! per-edge Monte-Carlo statistics stream out byte-identically whatever
+//! the worker count. The per-edge frontier renderings are
+//! byte-identical to the linear
+//! [`DeploymentOptimizer`](crate::DeploymentOptimizer)'s over the same
+//! cells — pinned by the differential tests.
 
+mod day;
 mod graph;
 mod schedule;
 
+pub use day::{
+    EdgeDayStats, NetworkDayEngine, NetworkDayReport, TrainRoute, NETWORK_DAY_CSV_HEADER,
+};
 pub use graph::{CorridorEdge, CorridorNetwork, NetworkError};
 pub use schedule::SleepDecision;
+
+use corridor_core::margin::MarginModel;
 
 use core::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -60,15 +75,20 @@ absorber_delta_wh_day,net_wh_day,absorbed_demand_tph";
 pub struct NetworkOptimizer {
     workers: Option<usize>,
     capacity_tph: f64,
+    margin_floor_db: Option<f64>,
+    day_seed: u64,
 }
 
 impl NetworkOptimizer {
-    /// An optimizer with automatic worker count and the default 30
-    /// trains/h absorption capacity per boundary repeater.
+    /// An optimizer with automatic worker count, the default 30
+    /// trains/h absorption capacity per boundary repeater, no margin
+    /// trading and day seed 42.
     pub fn new() -> Self {
         NetworkOptimizer {
             workers: None,
             capacity_tph: 30.0,
+            margin_floor_db: None,
+            day_seed: 42,
         }
     }
 
@@ -85,6 +105,24 @@ impl NetworkOptimizer {
     #[must_use]
     pub fn capacity_tph(mut self, capacity: f64) -> Self {
         self.capacity_tph = capacity;
+        self
+    }
+
+    /// Enables margin trading: interior repeaters may sleep as long as
+    /// every edge's coverage margin stays at or above `floor_db`.
+    /// Setting the floor to an edge's current margin reproduces the
+    /// boundary-only schedule byte-for-byte (no margin to spend).
+    #[must_use]
+    pub fn margin_floor_db(mut self, floor_db: f64) -> Self {
+        self.margin_floor_db = Some(floor_db);
+        self
+    }
+
+    /// Sets the seed of the representative network day the
+    /// margin-trading scheduler prices interior sleeps against.
+    #[must_use]
+    pub fn day_seed(mut self, seed: u64) -> Self {
+        self.day_seed = seed;
         self
     }
 
@@ -112,7 +150,7 @@ impl NetworkOptimizer {
                 .map(|(cell, cache)| evaluate_cell(cell, cache, space))
                 .collect()
         });
-        self.fold(net, space, results)
+        self.fold(net, space, &work, results)
     }
 
     /// [`NetworkOptimizer::run`] on the calling thread — the reference
@@ -135,7 +173,7 @@ impl NetworkOptimizer {
             .iter()
             .map(|(cell, cache)| evaluate_cell(cell, cache, space))
             .collect();
-        self.fold(net, space, results)
+        self.fold(net, space, &work, results)
     }
 
     /// Streams the per-edge frontier rows into `sink` in edge order
@@ -203,11 +241,13 @@ impl NetworkOptimizer {
     }
 
     /// Picks each edge's least-energy frontier point, runs the sleep
-    /// schedule and assembles the report.
+    /// schedule (with margin trading when a floor is configured) and
+    /// assembles the report.
     fn fold(
         &self,
         net: &CorridorNetwork,
         space: &SearchSpace,
+        work: &[(ScenarioCell, Arc<CoverageCache>)],
         results: Vec<OptimizeCellResult>,
     ) -> Result<NetworkReport, NetworkError> {
         let picks: Vec<Option<FrontierPoint>> = results
@@ -223,13 +263,30 @@ impl NetworkOptimizer {
                     .cloned()
             })
             .collect();
-        let plan = schedule::schedule_sleep(net, &picks, self.capacity_tph)
-            .map_err(NetworkError::Scenario)?;
+        let (plan, margins) = match self.margin_floor_db {
+            Some(floor_db) => {
+                // the representative day the interior prices come from,
+                // plus each edge's coverage cache from the search
+                let day = day::build_day_context(net, &picks, self.day_seed);
+                let caches: Vec<Arc<CoverageCache>> =
+                    work.iter().map(|(_, cache)| Arc::clone(cache)).collect();
+                let trading = schedule::MarginTrading {
+                    floor_db,
+                    model: MarginModel::new(space.snr_threshold_value()),
+                    caches: &caches,
+                    day: &day,
+                };
+                schedule::schedule_sleep(net, &picks, self.capacity_tph, Some(&trading))
+            }
+            None => schedule::schedule_sleep(net, &picks, self.capacity_tph, None),
+        }
+        .map_err(NetworkError::Scenario)?;
         Ok(NetworkReport {
             network: net.clone(),
             results,
             picks,
             plan,
+            margins,
             isd_search: space.isd_search_label(),
         })
     }
@@ -274,6 +331,7 @@ pub struct NetworkReport {
     results: Vec<OptimizeCellResult>,
     picks: Vec<Option<FrontierPoint>>,
     plan: Vec<SleepDecision>,
+    margins: Vec<Option<f64>>,
     isd_search: &'static str,
 }
 
@@ -312,6 +370,13 @@ impl NetworkReport {
     /// The committed sleep schedule, in greedy commit order.
     pub fn plan(&self) -> &[SleepDecision] {
         &self.plan
+    }
+
+    /// Each edge's residual coverage margin after the schedule, dB
+    /// (`None` for undeployed edges). Without margin trading these are
+    /// the picks' own margins, untouched.
+    pub fn residual_margins(&self) -> &[Option<f64>] {
+        &self.margins
     }
 
     /// Edges without any feasible deployment.

@@ -1,54 +1,110 @@
-//! Demand-aware sleep scheduling over the network graph.
+//! Pollakis minimum-active-set sleep scheduling over the network graph.
 //!
 //! The per-corridor optimizer answers "which deployment per edge"; this
-//! module answers the question it cannot ask: **which boundary
-//! repeaters can sleep entirely because a neighbor across the station
-//! absorbs their demand?** The formulation follows Pollakis et al.
-//! (arXiv 1503.08627): greedily shrink the active set while every
-//! demand stays served, here specialized to the rail-corridor geometry:
+//! module answers the question it cannot ask: **which repeaters can
+//! sleep entirely because a neighbor absorbs their demand?** The
+//! formulation follows Pollakis et al. (arXiv 1503.08627): greedily
+//! shrink the active set while every demand stays served and every
+//! corridor's coverage margin stays at or above a configurable floor.
+//! Two candidate families feed one greedy loop:
 //!
-//! * Each deployed edge parks one **boundary repeater** in the station
-//!   throat at each of its endpoints. Where several edges meet, their
-//!   boundary repeaters stand co-located with overlapping footprints —
-//!   so one awake repeater can serve the combined throat demand while
-//!   the others sleep, and the coverage margin along every corridor is
-//!   untouched (interior repeaters never move or sleep).
-//! * A sleeping boundary repeater saves its full daily energy (the
-//!   pick's per-repeater Wh/day). The absorber pays a duty-cycle
-//!   premium: its activity hours are re-priced analytically at
-//!   own-plus-absorbed demand, and the difference is the absorption
-//!   cost. A candidate is viable only when the saving strictly exceeds
-//!   the cost and the absorber stays within its demand capacity.
-//! * The greedy loop always takes the highest net saving next
-//!   (deterministic tie-breaks on edge, station and absorber indices),
-//!   so the schedule is a pure function of the network and the picks.
+//! * **Boundary repeaters.** Each deployed edge parks one repeater in
+//!   the station throat at each of its endpoints. Where several edges
+//!   meet, their boundary repeaters stand co-located with overlapping
+//!   footprints — so one awake repeater can serve the combined throat
+//!   demand while the others sleep, at zero margin cost. A sleeping
+//!   boundary repeater saves its full daily energy (the pick's
+//!   per-repeater Wh/day); the absorber pays a duty-cycle premium,
+//!   re-priced analytically at own-plus-absorbed demand, and must stay
+//!   within its demand capacity.
+//! * **Interior repeaters** (margin trading, only when a floor below
+//!   the pick's margin is configured). Every interior repeater of every
+//!   deployed edge is a candidate: sleeping it spends coverage margin —
+//!   priced through the same [`MarginModel`] and [`CoverageCache`] the
+//!   deployment search used, with the survivors as a custom placement —
+//!   and the [`MarginLedger`] refuses any spend that would cross the
+//!   floor. The energy side is priced against the *simulated* network
+//!   day ([`DayContext`]): the sleeper's saving is its actual traced
+//!   energy, and the absorbing neighbor's premium is the energy of the
+//!   hull section spanning both footprints (it must wake for every
+//!   train either repeater would have served). No capacity check
+//!   applies — the absorber serves the same trains, not new flows.
+//!
+//! The greedy loop always takes the highest net saving next, with a
+//! deterministic total order over candidates ([`SleepDecision::sort_key`]:
+//! station, then repeater index, then edge indices) breaking exact
+//! ties — so the schedule is a pure function of the network, the picks
+//! and the day, whatever the worker count or candidate evaluation
+//! order. With the floor at the pick's own margin the interior family
+//! is empty by construction and the schedule degenerates to the
+//! boundary-only search, byte-for-byte.
 
+use std::sync::Arc;
+
+use corridor_core::margin::{MarginLedger, MarginModel};
 use corridor_core::ScenarioError;
+use corridor_deploy::{CoverageCache, PlacementPolicy};
 use corridor_power::DutyCycle;
 use corridor_traffic::TrackSection;
 use corridor_units::{Hours, Meters};
 
 use crate::optimize::FrontierPoint;
 
+use super::day::DayContext;
 use super::graph::CorridorNetwork;
 
 /// One committed sleep decision of the schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SleepDecision {
-    /// The station whose throat the sleeping repeater served.
+    /// The station the sleeping repeater is anchored at: the shared
+    /// station for a boundary sleep, the edge's `a`-end for an interior
+    /// one.
     pub station: usize,
-    /// The edge whose boundary repeater sleeps.
+    /// The edge whose repeater sleeps.
     pub edge: usize,
-    /// The edge whose boundary repeater absorbs the demand.
+    /// The edge whose repeater absorbs the demand (the same edge for an
+    /// interior sleep).
     pub absorber_edge: usize,
+    /// The slept interior repeater's index within the edge's segment
+    /// (`None` for a boundary-throat repeater).
+    pub repeater: Option<usize>,
     /// Daily energy of the slept repeater, Wh.
     pub slept_wh_day: f64,
-    /// The absorber's duty-cycle premium for the extra demand, Wh/day.
+    /// The absorber's premium for the extra demand, Wh/day.
     pub absorber_delta_wh_day: f64,
     /// Net network saving: slept energy minus absorption cost, Wh/day.
     pub net_wh_day: f64,
     /// The demand handed to the absorber, trains per hour.
     pub absorbed_demand_tph: f64,
+    /// Coverage margin the sleep spent, dB (zero for boundary sleeps —
+    /// the throat footprints overlap entirely).
+    pub margin_cost_db: f64,
+}
+
+impl SleepDecision {
+    /// The deterministic total order of the schedule: station id, then
+    /// repeater index (boundary throats order before interior repeater
+    /// `k` as rank `k + 1`), then the sleeper and absorber edges. Equal
+    /// net savings are broken by this key, so the committed plan is
+    /// independent of candidate evaluation order and worker count.
+    pub fn sort_key(&self) -> (usize, usize, usize, usize) {
+        (
+            self.station,
+            self.repeater.map_or(0, |k| k + 1),
+            self.edge,
+            self.absorber_edge,
+        )
+    }
+}
+
+/// The margin-trading configuration of the scheduler: the floor, the
+/// shared margin model, the per-edge coverage caches of the deployment
+/// search and the simulated day the interior prices come from.
+pub(crate) struct MarginTrading<'a> {
+    pub(crate) floor_db: f64,
+    pub(crate) model: MarginModel,
+    pub(crate) caches: &'a [Arc<CoverageCache>],
+    pub(crate) day: &'a DayContext,
 }
 
 /// A boundary repeater's scheduling state at one `(edge, station)` slot.
@@ -62,6 +118,37 @@ struct Boundary {
     pinned: bool,
     /// Demand absorbed so far (on top of the edge's own), trains/h.
     absorbed_tph: f64,
+}
+
+/// An interior service repeater's scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepState {
+    Free,
+    Slept,
+    Pinned,
+}
+
+/// One margin-trading edge: the fixed day-priced candidates plus the
+/// mutable repeater states.
+struct InteriorEdge {
+    edge: usize,
+    n: usize,
+    isd: Meters,
+    placement: PlacementPolicy,
+    /// `prices[k]` is the fixed energy price of sleeping repeater `k`
+    /// into `k - 1` (`None` outside the interior range).
+    prices: Vec<Option<InteriorPrice>>,
+    state: Vec<RepState>,
+    slept: Vec<usize>,
+}
+
+/// The day-priced energy terms of one interior candidate — fixed for
+/// the whole greedy search (the day does not change as sleeps commit).
+#[derive(Debug, Clone, Copy)]
+struct InteriorPrice {
+    slept_wh: f64,
+    delta_wh: f64,
+    net_wh: f64,
 }
 
 /// Prices one boundary repeater of `edge` at `tph` demand: activity
@@ -81,19 +168,98 @@ fn boundary_wh_day(
         .value())
 }
 
-/// Builds the demand-aware sleep schedule for a network whose edges
-/// already have their per-corridor picks: a greedy minimum-active-set
-/// search over the boundary repeaters at shared stations.
+/// Builds the margin-trading state of every eligible edge: deployed, at
+/// least three repeaters (an interior exists), and holding margin
+/// strictly above the floor — at `floor == margin` the family is empty,
+/// which is exactly what makes the boundary-only schedule the
+/// `margin_floor = current` special case.
+fn interior_edges(
+    net: &CorridorNetwork,
+    picks: &[Option<FrontierPoint>],
+    trading: &MarginTrading<'_>,
+) -> Result<Vec<InteriorEdge>, ScenarioError> {
+    let mut edges = Vec::new();
+    for (e, pick) in picks.iter().enumerate() {
+        let Some(pick) = pick else { continue };
+        let n = pick.nodes;
+        if n < 3 || trading.floor_db >= pick.margin_db {
+            continue;
+        }
+        let params = net.edge_cell(e)?.params().clone();
+        let day = trading.day;
+        let report = &day.reports[e];
+        let nodes = day.sim.edge_nodes(e);
+        let mut prices = vec![None; n];
+        for k in 1..n - 1 {
+            // service repeater k is segment node 1 + k; its absorbing
+            // neighbor k - 1 is node k
+            let slept_hours = report.nodes()[1 + k].trace().powered().hours();
+            let own_hours = report.nodes()[k].trace().powered().hours();
+            let hull = TrackSection::new(nodes[k].section().start(), nodes[1 + k].section().end());
+            let hull_hours = day.sim.section_powered_hours(e, hull, &day.itineraries);
+            let energy = |hours: Hours| {
+                DutyCycle::over_day(hours, Hours::ZERO)
+                    .daily_energy(params.lp_node())
+                    .value()
+            };
+            let slept_wh = energy(slept_hours);
+            let delta_wh = energy(hull_hours) - energy(own_hours);
+            prices[k] = Some(InteriorPrice {
+                slept_wh,
+                delta_wh,
+                net_wh: slept_wh - delta_wh,
+            });
+        }
+        edges.push(InteriorEdge {
+            edge: e,
+            n,
+            isd: pick.isd,
+            placement: params.placement().clone(),
+            prices,
+            state: vec![RepState::Free; n],
+            slept: Vec::new(),
+        });
+    }
+    Ok(edges)
+}
+
+/// What the greedy loop picked this round.
+enum Choice {
+    Boundary {
+        si: usize,
+        ai: usize,
+        before: f64,
+        after: f64,
+    },
+    Interior {
+        ie: usize,
+        k: usize,
+        margin_after: f64,
+    },
+}
+
+/// The deterministic tie-break key — [`SleepDecision::sort_key`].
+type SortKey = (usize, usize, usize, usize);
+
+/// One round's best candidate: (net saving, tie-break key, commit).
+type Candidate = (f64, SortKey, Choice);
+
+/// Builds the minimum-active-set sleep schedule for a network whose
+/// edges already have their per-corridor picks, returning the committed
+/// plan (in greedy order) and each edge's residual coverage margin.
 ///
 /// `picks[e]` is edge `e`'s selected frontier point (`None` for an
 /// unsolvable edge, which neither sleeps nor absorbs); `capacity_tph`
 /// caps the aggregate demand (own + absorbed) one boundary repeater may
-/// serve.
+/// serve. With `trading` set, interior repeaters join the candidate set
+/// and spend margin down to (never below) the configured floor; without
+/// it the search is the boundary-only schedule.
 pub(crate) fn schedule_sleep(
     net: &CorridorNetwork,
     picks: &[Option<FrontierPoint>],
     capacity_tph: f64,
-) -> Result<Vec<SleepDecision>, ScenarioError> {
+    trading: Option<&MarginTrading<'_>>,
+) -> Result<(Vec<SleepDecision>, Vec<Option<f64>>), ScenarioError> {
     // materialize every boundary slot: deployed edges only, stations
     // where at least one *other* edge is incident (somebody must be
     // there to absorb)
@@ -117,7 +283,7 @@ pub(crate) fn schedule_sleep(
         }
     }
 
-    // per-edge sleep budget: at most two boundary repeaters (one per
+    // per-edge boundary budget: at most two throat repeaters (one per
     // end) and never more than the edge actually deploys
     let budget: Vec<usize> = picks
         .iter()
@@ -125,10 +291,40 @@ pub(crate) fn schedule_sleep(
         .collect();
     let mut slept_per_edge = vec![0usize; picks.len()];
 
+    // the margin side: residual margins seeded from the picks, interior
+    // candidates only when trading is configured
+    let initial_margins: Vec<Option<f64>> = picks
+        .iter()
+        .map(|p| p.as_ref().map(|p| p.margin_db))
+        .collect();
+    let mut ledger = MarginLedger::new(
+        trading.map_or(f64::NEG_INFINITY, |t| t.floor_db),
+        initial_margins,
+    );
+    let mut interiors: Vec<InteriorEdge> = match trading {
+        Some(t) => interior_edges(net, picks, t)?,
+        None => Vec::new(),
+    };
+
     let mut plan: Vec<SleepDecision> = Vec::new();
     loop {
-        // evaluate every (sleeper, absorber) pair still on the table
-        let mut best: Option<(f64, usize, usize)> = None; // (net, sleeper slot, absorber slot)
+        // evaluate every candidate still on the table; best is
+        // (net saving, total-order key, what to commit)
+        let mut best: Option<Candidate> = None;
+        let mut offer = |net_wh: f64, key: SortKey, choice: Choice| {
+            let better = match &best {
+                None => true,
+                Some((best_net, best_key, _)) => match net_wh.total_cmp(best_net) {
+                    core::cmp::Ordering::Greater => true,
+                    core::cmp::Ordering::Less => false,
+                    core::cmp::Ordering::Equal => key < *best_key,
+                },
+            };
+            if better {
+                best = Some((net_wh, key, choice));
+            }
+        };
+
         for (si, sleeper) in slots.iter().enumerate() {
             if sleeper.slept || sleeper.pinned {
                 continue;
@@ -160,73 +356,133 @@ pub(crate) fn schedule_sleep(
                     .expect("slots only exist for picked edges");
                 let before = boundary_wh_day(net, absorber.edge, before_tph, absorber_pick.isd)?;
                 let after = boundary_wh_day(net, absorber.edge, after_tph, absorber_pick.isd)?;
-                let delta = after - before;
-                let net_wh = slept_wh - delta;
+                let net_wh = slept_wh - (after - before);
                 if net_wh <= 1e-9 {
                     continue;
                 }
-                // deterministic total order: saving first, then the
-                // lowest sleeper edge / station / absorber edge
-                let better = match &best {
-                    None => true,
-                    Some((best_net, best_si, best_ai)) => match net_wh.total_cmp(best_net) {
-                        core::cmp::Ordering::Greater => true,
-                        core::cmp::Ordering::Less => false,
-                        core::cmp::Ordering::Equal => {
-                            let key = (slots[si].edge, slots[si].station, slots[ai].edge);
-                            let best_key = (
-                                slots[*best_si].edge,
-                                slots[*best_si].station,
-                                slots[*best_ai].edge,
-                            );
-                            key < best_key
-                        }
+                offer(
+                    net_wh,
+                    (sleeper.station, 0, sleeper.edge, absorber.edge),
+                    Choice::Boundary {
+                        si,
+                        ai,
+                        before,
+                        after,
                     },
-                };
-                if better {
-                    best = Some((net_wh, si, ai));
+                );
+            }
+        }
+
+        if let Some(trading) = trading {
+            for (ie, interior) in interiors.iter().enumerate() {
+                let e = interior.edge;
+                for k in 1..interior.n - 1 {
+                    // the absorber is always the left neighbor: it must
+                    // still be awake, and the sleeper still free
+                    if interior.state[k] != RepState::Free
+                        || interior.state[k - 1] == RepState::Slept
+                    {
+                        continue;
+                    }
+                    let Some(price) = interior.prices[k] else {
+                        continue;
+                    };
+                    if price.net_wh <= 1e-9 {
+                        continue;
+                    }
+                    let mut slept = interior.slept.clone();
+                    slept.push(k);
+                    let Some(margin_after) = trading.model.margin_without(
+                        &trading.caches[e],
+                        interior.n,
+                        interior.isd,
+                        &interior.placement,
+                        &slept,
+                    ) else {
+                        continue;
+                    };
+                    if !ledger.affords(e, margin_after) {
+                        continue;
+                    }
+                    offer(
+                        price.net_wh,
+                        (net.edge(e).a(), k + 1, e, e),
+                        Choice::Interior {
+                            ie,
+                            k,
+                            margin_after,
+                        },
+                    );
                 }
             }
         }
 
-        let Some((net_wh, si, ai)) = best else {
+        let Some((net_wh, _, choice)) = best else {
             break;
         };
-        let handed_tph = net.edge(slots[si].edge).demand_tph();
-        let absorber_pick = picks[slots[ai].edge]
-            .as_ref()
-            .expect("slots only exist for picked edges");
-        let own_tph = net.edge(slots[ai].edge).demand_tph();
-        let before = boundary_wh_day(
-            net,
-            slots[ai].edge,
-            own_tph + slots[ai].absorbed_tph,
-            absorber_pick.isd,
-        )?;
-        let after = boundary_wh_day(
-            net,
-            slots[ai].edge,
-            own_tph + slots[ai].absorbed_tph + handed_tph,
-            absorber_pick.isd,
-        )?;
-        let sleeper_pick = picks[slots[si].edge]
-            .as_ref()
-            .expect("slots only exist for picked edges");
-        plan.push(SleepDecision {
-            station: slots[si].station,
-            edge: slots[si].edge,
-            absorber_edge: slots[ai].edge,
-            slept_wh_day: sleeper_pick.repeater_wh_day,
-            absorber_delta_wh_day: after - before,
-            net_wh_day: net_wh,
-            absorbed_demand_tph: handed_tph,
-        });
-        slept_per_edge[slots[si].edge] += 1;
-        slots[si].slept = true;
-        slots[ai].pinned = true;
-        slots[ai].absorbed_tph += handed_tph;
+        match choice {
+            Choice::Boundary {
+                si,
+                ai,
+                before,
+                after,
+            } => {
+                let handed_tph = net.edge(slots[si].edge).demand_tph();
+                let sleeper_pick = picks[slots[si].edge]
+                    .as_ref()
+                    .expect("slots only exist for picked edges");
+                plan.push(SleepDecision {
+                    station: slots[si].station,
+                    edge: slots[si].edge,
+                    absorber_edge: slots[ai].edge,
+                    repeater: None,
+                    slept_wh_day: sleeper_pick.repeater_wh_day,
+                    absorber_delta_wh_day: after - before,
+                    net_wh_day: net_wh,
+                    absorbed_demand_tph: handed_tph,
+                    margin_cost_db: 0.0,
+                });
+                slept_per_edge[slots[si].edge] += 1;
+                slots[si].slept = true;
+                slots[ai].pinned = true;
+                slots[ai].absorbed_tph += handed_tph;
+            }
+            Choice::Interior {
+                ie,
+                k,
+                margin_after,
+            } => {
+                let interior = &mut interiors[ie];
+                let e = interior.edge;
+                let price = interior.prices[k].expect("committed candidates are priced");
+                let margin_before = ledger.margin(e).expect("trading edges hold margin");
+                plan.push(SleepDecision {
+                    station: net.edge(e).a(),
+                    edge: e,
+                    absorber_edge: e,
+                    repeater: Some(k),
+                    slept_wh_day: price.slept_wh,
+                    absorber_delta_wh_day: price.delta_wh,
+                    net_wh_day: net_wh,
+                    absorbed_demand_tph: net.edge(e).demand_tph(),
+                    margin_cost_db: margin_before - margin_after,
+                });
+                ledger.commit(e, margin_after);
+                interior.state[k] = RepState::Slept;
+                interior.state[k - 1] = RepState::Pinned;
+                interior.slept.push(k);
+            }
+        }
     }
-    Ok(plan)
+    // a floor *above* the picks' own margins is a valid configuration
+    // (it gates every interior candidate and spends nothing), so the
+    // invariant is per spend — enforced by `MarginLedger::commit` — not
+    // a blanket floor check over the initial margins
+    debug_assert!(
+        plan.iter().all(|d| d.repeater.is_none()) || ledger.all_at_or_above_floor(),
+        "committed margin spends crossed the floor"
+    );
+    Ok((plan, ledger.margins().to_vec()))
 }
 
 #[cfg(test)]
@@ -252,6 +508,8 @@ mod tests {
             assert!(d.slept_wh_day > d.absorber_delta_wh_day);
             assert_eq!(d.station, 0, "star junctions sleep only at the hub");
             assert_ne!(d.edge, d.absorber_edge);
+            assert_eq!(d.repeater, None, "default schedules are boundary-only");
+            assert_eq!(d.margin_cost_db, 0.0);
         }
         // no boundary repeater absorbs and sleeps at once: slept edges
         // never appear as absorbers at the same station
@@ -301,5 +559,39 @@ mod tests {
             .unwrap();
         assert_eq!(a.plan(), b.plan());
         assert_eq!(a.schedule_csv(), b.schedule_csv());
+    }
+
+    #[test]
+    fn sort_key_totally_orders_shuffled_decisions() {
+        let decision = |station, repeater, edge, absorber| SleepDecision {
+            station,
+            edge,
+            absorber_edge: absorber,
+            repeater,
+            slept_wh_day: 1.0,
+            absorber_delta_wh_day: 0.5,
+            net_wh_day: 0.5,
+            absorbed_demand_tph: 8.0,
+            margin_cost_db: 0.0,
+        };
+        let canonical = vec![
+            decision(0, None, 0, 1),
+            decision(0, None, 0, 2),
+            decision(0, None, 1, 0),
+            decision(0, Some(0), 0, 0),
+            decision(0, Some(3), 2, 2),
+            decision(1, None, 4, 3),
+            decision(2, Some(1), 5, 5),
+        ];
+        // boundary throats (rank 0) order before interior repeater k
+        // (rank k + 1) at the same station
+        assert!(decision(0, None, 9, 9).sort_key() < decision(0, Some(0), 0, 0).sort_key());
+        for rotation in 0..canonical.len() {
+            let mut shuffled = canonical.clone();
+            shuffled.rotate_left(rotation);
+            shuffled.reverse();
+            shuffled.sort_by_key(SleepDecision::sort_key);
+            assert_eq!(shuffled, canonical, "rotation {rotation}");
+        }
     }
 }

@@ -28,6 +28,7 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use corridor_core::margin::MarginModel;
 use corridor_core::sink::{RowEmitter, RowFormat, RowSink, SinkResult, StringSink};
 use corridor_core::{pareto, AnalyticEvaluator, EnergyStrategy, ScenarioError, SegmentEvaluator};
 use corridor_deploy::{CoverageCache, IsdTable, LinkBudget, SegmentInventory};
@@ -168,6 +169,12 @@ impl SearchSpace {
     pub fn snr_threshold(mut self, threshold: Db) -> Self {
         self.snr_threshold = threshold;
         self
+    }
+
+    /// The coverage threshold — the margin-trading scheduler prices
+    /// interior sleeps against the same model the search used.
+    pub(crate) fn snr_threshold_value(&self) -> Db {
+        self.snr_threshold
     }
 
     /// Sets the coverage-profile sampling step.
@@ -636,11 +643,14 @@ pub(crate) fn evaluate_cell(
     };
     let mut candidates: Vec<FrontierPoint> = Vec::new();
 
+    // margin arithmetic lives in the shared core model, so the network
+    // scheduler's margin-trading prices are the optimizer's own
+    let margin_model = MarginModel::new(space.snr_threshold);
     for &n in &space.node_counts {
         let isd = match space.isd_search {
             IsdSearch::PaperTable => IsdTable::paper().isd_for(n),
             IsdSearch::ModelGrid { min, max, step } => {
-                cache.max_feasible_isd(n, placement, space.snr_threshold, min, max, step)
+                cache.max_feasible_isd(n, placement, margin_model.threshold(), min, max, step)
             }
         };
         let Some(isd) = isd else {
@@ -648,10 +658,9 @@ pub(crate) fn evaluate_cell(
         };
         // coverage margin from the shared cache (placement failures at
         // the paper anchors — e.g. a wide LP spacing — are infeasible)
-        let Some(min_snr) = cache.min_snr(n, isd, placement) else {
+        let Some(margin_db) = margin_model.margin_of(cache, n, isd, placement) else {
             continue;
         };
-        let margin_db = (min_snr - space.snr_threshold).value();
 
         let inventory = SegmentInventory::for_nodes(n, isd);
         let nodes_per_km = (inventory.total_repeaters() as f64 + inventory.masts() as f64)
