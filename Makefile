@@ -2,12 +2,18 @@
 
 RUSTDOCFLAGS_STRICT := -D missing_docs -D warnings
 
-.PHONY: ci fmt-check clippy build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
+.PHONY: ci fmt-check clippy lint build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize bench-snapshot results
 
-ci: fmt-check clippy build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
+ci: fmt-check clippy lint build test golden differential mc optimize network-smoke network-differential serve-smoke cache-determinism doc quickstart bench-build bench-sweep bench-mc bench-optimize
 
 fmt-check:
 	cargo fmt --all --check
+
+# Workspace-invariant static analysis (determinism, NaN-safety,
+# no-panic); see docs/lints.md. Writes the machine-readable report that
+# CI uploads as a build artifact.
+lint:
+	cargo run -q --release -p corridor_lint --bin lint -- --json target/lint-report.json
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

@@ -52,6 +52,7 @@ pub fn fig3(params: &ScenarioParams) -> Vec<Fig3Sample> {
 /// Panics if the repeaters cannot be placed in the segment.
 pub fn fig3_with(params: &ScenarioParams, isd: Meters, n: usize, step: Meters) -> Vec<Fig3Sample> {
     let layout = CorridorLayout::with_policy(isd, n, params.placement())
+        // corridor-lint: allow(no-panic, reason = "documented `# Panics` API: the figure helpers panic on unplaceable geometry by contract")
         .expect("paper geometry is placeable");
     let model = layout.snr_model(params.budget());
     let samples = (isd.value() / step.value()).round() as usize;
@@ -64,6 +65,7 @@ pub fn fig3_with(params: &ScenarioParams, isd: Meters, n: usize, step: Meters) -
                 hp_left: rsrp[0],
                 hp_right: rsrp[1],
                 lp_nodes: rsrp[2..].to_vec(),
+                // corridor-lint: allow(no-panic, reason = "layout.snr_model always installs the two mast sources, so the model is never empty")
                 total_signal: model.total_signal_at(position).expect("sources exist"),
                 total_noise: model.total_noise_at(position),
             }
@@ -193,6 +195,7 @@ pub fn headline_numbers(params: &ScenarioParams) -> HeadlineNumbers {
     let table = IsdTable::paper();
     let savings = |n, strategy| {
         energy::savings_vs_conventional(params, &table, n, strategy)
+            // corridor-lint: allow(no-panic, reason = "n is drawn from 1..=10 below and IsdTable::paper() covers exactly 0-10 nodes")
             .expect("the paper ISD table covers 1-10 nodes")
     };
 
@@ -228,6 +231,7 @@ pub fn fronthaul_check(params: &ScenarioParams, isd: Meters, n: usize) -> ChainR
     let positions = params
         .placement()
         .positions(n, isd)
+        // corridor-lint: allow(no-panic, reason = "documented `# Panics` API: the figure helpers panic on unplaceable geometry by contract")
         .expect("paper geometry is placeable");
     FronthaulChain::for_segment(MmWaveBand::v_band_60ghz(), &positions, isd).evaluate()
 }
@@ -327,6 +331,7 @@ pub fn table4() -> Vec<Table4Row> {
                 DailyLoadProfile::repeater_paper_default(),
                 &options,
             )
+            // corridor-lint: allow(no-panic, reason = "Table 4 reproduces the paper's solvable sites; an unsolvable site means the constants regressed and the table must not render")
             .unwrap_or_else(|| panic!("{} must be solvable", location.name()));
             Table4Row {
                 location,

@@ -206,6 +206,12 @@ pub enum ScenarioError {
     /// exhaustion), and engines must surface that instead of panicking
     /// mid-sweep.
     WorkerPoolBuild,
+    /// An internal bookkeeping invariant failed (e.g. a scheduler slot
+    /// referencing an edge without a committed pick). The payload names
+    /// the violated invariant. Reaching this variant is a bug in the
+    /// engine, not bad user input — but engines surface it as a typed
+    /// error rather than panicking mid-run.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for ScenarioError {
@@ -236,6 +242,9 @@ impl fmt::Display for ScenarioError {
                 write!(f, "ISD table has no entry for {n} repeater nodes")
             }
             ScenarioError::WorkerPoolBuild => f.write_str("worker thread pool could not be built"),
+            ScenarioError::Invariant(what) => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }

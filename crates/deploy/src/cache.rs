@@ -14,6 +14,10 @@
 //! versus actual profile evaluations so benches and tests can assert
 //! the saving.
 
+// Order-safety audit (hash-order): the memo map below is only ever
+// probed through `entry()` by exact key; nothing iterates it, so the
+// hasher's bucket order cannot influence any result, count or report.
+// corridor-lint: allow(hash-order, reason = "cache map is entry()-probed by key only, never iterated; order cannot escape")
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};

@@ -152,7 +152,7 @@ impl Corridor {
         self.segments
             .iter()
             .filter_map(|s| s.coverage_profile(budget, step).min_snr())
-            .min_by(|a, b| a.partial_cmp(b).expect("SNR is never NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Coverage profiles for every segment, in track order.

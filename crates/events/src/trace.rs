@@ -117,6 +117,7 @@ impl StateTrace {
     /// simulator never produces such a trace).
     pub fn duty_cycle(&self) -> DutyCycle {
         DutyCycle::new(self.powered().hours(), Hours::ZERO, self.horizon.hours())
+            // corridor-lint: allow(no-panic, reason = "documented `# Panics` API: the simulator clamps powered time to the horizon by construction")
             .expect("powered time is within the horizon")
     }
 

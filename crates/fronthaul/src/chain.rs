@@ -67,8 +67,8 @@ impl FronthaulChain {
             .copied()
             .filter(|p| *p > isd / 2.0)
             .collect();
-        left.sort_by(|a, b| a.partial_cmp(b).expect("positions are never NaN"));
-        right.sort_by(|a, b| b.partial_cmp(a).expect("positions are never NaN"));
+        left.sort_by(|a, b| a.total_cmp(b));
+        right.sort_by(|a, b| b.total_cmp(a));
         (left, right)
     }
 
@@ -285,6 +285,31 @@ mod tests {
         let _ = FronthaulChain::for_segment(
             MmWaveBand::v_band_60ghz(),
             &[Meters::new(3000.0)],
+            Meters::new(2400.0),
+        );
+    }
+
+    #[test]
+    fn nan_position_does_not_panic_the_side_sort() {
+        // regression: the side sorts used partial_cmp + expect, which
+        // panicked on NaN. total_cmp orders NaN deterministically; here a
+        // NaN position fails both side filters and lands in neither half.
+        let positions = [
+            Meters::new(500.0),
+            Meters::new(f64::NAN),
+            Meters::new(1900.0),
+        ];
+        let (left, right) = FronthaulChain::split_sides(&positions, Meters::new(2400.0));
+        assert_eq!(left, vec![Meters::new(500.0)]);
+        assert_eq!(right, vec![Meters::new(1900.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside segment")]
+    fn nan_position_rejected_by_validation() {
+        let _ = FronthaulChain::for_segment(
+            MmWaveBand::v_band_60ghz(),
+            &[Meters::new(f64::NAN)],
             Meters::new(2400.0),
         );
     }

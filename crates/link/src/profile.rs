@@ -77,6 +77,7 @@ impl CoverageProfile {
         let mut samples = Vec::with_capacity(n + 1);
         for i in 0..=n {
             let position = Meters::new((i as f64) * step.value()).min(length);
+            // corridor-lint: allow(no-panic, reason = "guarded by the sources-nonempty assert at the top of this function")
             let signal = model.total_signal_at(position).expect("model has sources");
             let noise = model.total_noise_at(position);
             let snr = signal - noise;
@@ -116,14 +117,12 @@ impl CoverageProfile {
         self.samples
             .iter()
             .map(|s| s.snr)
-            .min_by(|a, b| a.partial_cmp(b).expect("SNR is never NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// The sample with the lowest SNR.
     pub fn worst_sample(&self) -> Option<&ProfileSample> {
-        self.samples
-            .iter()
-            .min_by(|a, b| a.snr.partial_cmp(&b.snr).expect("SNR is never NaN"))
+        self.samples.iter().min_by(|a, b| a.snr.total_cmp(&b.snr))
     }
 
     /// Mean SNR in dB (arithmetic mean of the dB values).
@@ -149,7 +148,7 @@ impl CoverageProfile {
         self.samples
             .iter()
             .map(|s| s.spectral_efficiency)
-            .min_by(|a, b| a.partial_cmp(b).expect("SE is never NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// Fraction of samples at the peak rate of `throughput`.
@@ -282,5 +281,30 @@ mod tests {
             Meters::ZERO,
             &ThroughputModel::nr_default(),
         );
+    }
+
+    #[test]
+    fn nan_snr_sample_does_not_win_the_minimum() {
+        // regression: min_snr / worst_sample / min_spectral_efficiency
+        // used partial_cmp + expect and panicked on NaN. total_cmp orders
+        // NaN after +inf, so a NaN sample loses every min search.
+        let sample = |snr: f64, se: f64| ProfileSample {
+            position: Meters::ZERO,
+            signal: Dbm::new(-80.0),
+            noise: Dbm::new(-100.0),
+            snr: Db::new(snr),
+            spectral_efficiency: se,
+        };
+        let profile = CoverageProfile {
+            samples: vec![
+                sample(20.0, 5.0),
+                sample(f64::NAN, f64::NAN),
+                sample(12.0, 3.5),
+            ],
+            step: Meters::new(1.0),
+        };
+        assert_eq!(profile.min_snr(), Some(Db::new(12.0)));
+        assert_eq!(profile.worst_sample().map(|s| s.snr), Some(Db::new(12.0)));
+        assert_eq!(profile.min_spectral_efficiency(), Some(3.5));
     }
 }

@@ -136,7 +136,7 @@ impl<M: PathLoss> SnrModel<M> {
     pub fn total_noise_at(&self, at: Meters) -> Dbm {
         let repeater_noise = self.sources.iter().filter_map(|s| s.received_noise_at(at));
         sum_power_dbm(repeater_noise.chain(std::iter::once(self.terminal_noise())))
-            .expect("iterator is never empty")
+            .unwrap_or_else(|| self.terminal_noise())
     }
 
     /// SNR at `at` (eq. (2)), or `None` if the model has no sources.

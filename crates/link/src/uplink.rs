@@ -120,7 +120,7 @@ impl UplinkBudget {
         let n = (length.value() / step.value()).round() as usize;
         (0..=n)
             .filter_map(|i| self.snr_at(model, Meters::new(i as f64 * step.value()).min(length)))
-            .min_by(|a, b| a.partial_cmp(b).expect("SNR is never NaN"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -1,0 +1,376 @@
+//! Lossless comment/string masking for rule scanning.
+//!
+//! The rules operate on a *masked* copy of each source file: every
+//! comment, string literal, character literal and raw string is
+//! replaced by spaces (newlines preserved), so a forbidden token inside
+//! a doc comment or an error message can never produce a false
+//! positive. The masking keeps the line structure of the original file
+//! intact — a byte at line `n` of the masked text sits at line `n` of
+//! the source — which is what lets diagnostics carry exact `file:line`
+//! positions without a real parser.
+//!
+//! Comment *text* is not discarded: it is collected per line, because
+//! waiver directives live in comments and are parsed from this
+//! side-channel (never from string literals, so the engine's own
+//! sources — which name the directive marker in strings — cannot waive
+//! anything by accident).
+
+/// One comment's text, attached to the line its first character sits on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line of the comment's first character.
+    pub line: usize,
+    /// The comment text including its `//` / `/*` framing.
+    pub text: String,
+}
+
+/// The result of masking one source file.
+#[derive(Debug, Clone)]
+pub struct Sanitized {
+    /// The source with comments and literals blanked to spaces
+    /// (newlines kept, so line numbers match the original).
+    pub masked: String,
+    /// Every comment in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Masks `source`, blanking comments and string/char literals.
+///
+/// Handles nested block comments, escaped quotes, raw strings with any
+/// number of `#` markers (`r"…"`, `r##"…"##`, `br#"…"#`), byte strings
+/// and the lifetime-vs-char-literal ambiguity (`'a` versus `'a'`).
+pub fn sanitize(source: &str) -> Sanitized {
+    let bytes = source.as_bytes();
+    let mut masked = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes one masked byte, preserving newlines for line accounting.
+    fn blank(masked: &mut String, b: u8) {
+        masked.push(if b == b'\n' { '\n' } else { ' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (incl. `///` and `//!`): capture text,
+                // blank it in the masked copy.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                comments.push(Comment { line, text });
+                for _ in start..i {
+                    masked.push(' ');
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, possibly nested.
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+                comments.push(Comment {
+                    line: start_line,
+                    text,
+                });
+                for &c in &bytes[start..i] {
+                    blank(&mut masked, c);
+                }
+            }
+            b'"' => {
+                i = mask_string(bytes, i, &mut masked, &mut line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = mask_raw_or_byte(bytes, i, &mut masked, &mut line);
+            }
+            b'\'' => {
+                i = mask_char_or_lifetime(bytes, i, &mut masked, &mut line);
+            }
+            _ => {
+                if b == b'\n' {
+                    line += 1;
+                }
+                masked.push(b as char);
+                i += 1;
+            }
+        }
+    }
+
+    Sanitized { masked, comments }
+}
+
+/// True when position `i` (at `r` or `b`) starts a raw string, byte
+/// string or raw byte string — and is not a plain identifier such as a
+/// raw identifier `r#loop` or a name ending in `r`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // A string prefix only counts when not glued to a preceding
+    // identifier character (`attr"x"` is not `r"x"`).
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j < bytes.len() && bytes[j] == b'r' {
+        j += 1;
+        // skip any number of #
+        let mut k = j;
+        while k < bytes.len() && bytes[k] == b'#' {
+            k += 1;
+        }
+        // `r#ident` (raw identifier) has ident chars after `#`, not a quote
+        return k < bytes.len() && bytes[k] == b'"';
+    }
+    // plain byte string b"..."
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Masks an escaped (non-raw) string literal starting at the opening
+/// quote; returns the index just past the closing quote.
+fn mask_string(bytes: &[u8], mut i: usize, masked: &mut String, line: &mut usize) -> usize {
+    masked.push(' ');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                masked.push(' ');
+                masked.push(if bytes[i + 1] == b'\n' { '\n' } else { ' ' });
+                i += 2;
+            }
+            b'"' => {
+                masked.push(' ');
+                return i + 1;
+            }
+            b'\n' => {
+                *line += 1;
+                masked.push('\n');
+                i += 1;
+            }
+            _ => {
+                masked.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Masks `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the prefix;
+/// returns the index just past the closing delimiter.
+fn mask_raw_or_byte(bytes: &[u8], mut i: usize, masked: &mut String, line: &mut usize) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        masked.push(' ');
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        masked.push(' ');
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        masked.push(' ');
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i;
+    }
+    if !raw {
+        // plain byte string: escape rules of a normal string
+        return mask_string(bytes, i, masked, line);
+    }
+    masked.push(' ');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes.len() - i > hashes
+            && bytes[i + 1..=i + hashes].iter().all(|&c| c == b'#')
+        {
+            for _ in 0..=hashes {
+                masked.push(' ');
+            }
+            return i + 1 + hashes;
+        }
+        if bytes[i] == b'"' && hashes == 0 {
+            masked.push(' ');
+            return i + 1;
+        }
+        if bytes[i] == b'\n' {
+            *line += 1;
+            masked.push('\n');
+        } else {
+            masked.push(' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Masks a character literal, or passes a lifetime through untouched;
+/// returns the index just past whatever was consumed.
+///
+/// Disambiguation: after the opening quote, a char literal holds either
+/// a backslash escape or exactly one UTF-8 scalar followed immediately
+/// by a closing quote. Anything else (`'a>`, `'outer:`, `&'a str`) is a
+/// lifetime or loop label and is kept verbatim.
+fn mask_char_or_lifetime(bytes: &[u8], i: usize, masked: &mut String, line: &mut usize) -> usize {
+    let n = bytes.len();
+    if i + 1 < n && bytes[i + 1] == b'\\' {
+        // `'\n'`, `'\''`, `'\x41'`, `'\u{…}'`: skip the backslash and
+        // the escaped byte, then scan to the closing quote.
+        let mut j = i + 3;
+        while j < n && bytes[j] != b'\'' {
+            if bytes[j] == b'\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        for _ in i..=j.min(n.saturating_sub(1)) {
+            masked.push(' ');
+        }
+        return (j + 1).min(n);
+    }
+    if i + 1 < n {
+        let width = utf8_width(bytes[i + 1]);
+        let close = i + 1 + width;
+        if close < n && bytes[close] == b'\'' {
+            for _ in i..=close {
+                masked.push(' ');
+            }
+            return close + 1;
+        }
+    }
+    // Lifetime (or stray quote): keep the quote so `'static` stays
+    // scannable as ordinary code.
+    masked.push('\'');
+    i + 1
+}
+
+/// Byte width of a UTF-8 scalar from its leading byte.
+fn utf8_width(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead < 0xE0 {
+        2
+    } else if lead < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let s = sanitize("let x = 1; // partial_cmp here\n/// docs unwrap()\nlet y = 2;\n");
+        assert!(!s.masked.contains("partial_cmp"));
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("let x = 1;"));
+        assert!(s.masked.contains("let y = 2;"));
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[1].line, 2);
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let s = sanitize("a /* outer /* inner unwrap() */ still */ b\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.starts_with('a'));
+        assert!(s.masked.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn masks_strings_and_escapes() {
+        let s = sanitize(r#"let m = "panic! \" unwrap()"; let k = 1;"#);
+        assert!(!s.masked.contains("panic"));
+        assert!(s.masked.contains("let k = 1;"));
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let s = sanitize("let m = r#\"unwrap() \"quoted\" inside\"#; let k = 2;");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("let k = 2;"));
+    }
+
+    #[test]
+    fn keeps_lifetimes_but_masks_char_literals() {
+        let s = sanitize("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(s.masked.contains("<'a>"));
+        assert!(s.masked.contains("&'a str"));
+        assert!(!s.masked.contains("'x'"));
+    }
+
+    #[test]
+    fn adjacent_lifetimes_are_not_a_char_literal() {
+        let s = sanitize("fn f<'a, 'b>(x: &'a str, y: &'b str) {}\n");
+        assert!(s.masked.contains("<'a, 'b>"));
+        assert!(s.masked.contains("&'b str"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes_correctly() {
+        let s = sanitize(r"let q = '\''; let t = 4;");
+        assert!(s.masked.contains("let t = 4;"));
+        assert!(!s.masked.contains("\\'"));
+    }
+
+    #[test]
+    fn masks_escaped_char_literal() {
+        let s = sanitize(r"let c = '\n'; let d = 3;");
+        assert!(!s.masked.contains("\\n"));
+        assert!(s.masked.contains("let d = 3;"));
+    }
+
+    #[test]
+    fn preserves_line_numbers_across_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nlet s = \"x\ny\";\nend\n";
+        let s = sanitize(src);
+        assert_eq!(
+            s.masked.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline count must survive masking"
+        );
+        let lines: Vec<&str> = s.masked.lines().collect();
+        assert_eq!(lines[5].trim(), "end");
+    }
+
+    #[test]
+    fn waiver_text_in_string_literal_is_not_a_comment() {
+        let s = sanitize("let marker = \"corridor-lint: allow(no-panic)\";\n");
+        assert!(s.comments.is_empty());
+    }
+}

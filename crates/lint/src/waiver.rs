@@ -1,0 +1,183 @@
+//! Inline waiver directives.
+//!
+//! A genuinely safe site suppresses a rule with a comment on the
+//! flagged line or on the line directly above it. The directive names
+//! the rule and *must* carry a reason — the reason string is the code
+//! reviewer's record of why the invariant holds at this site, and the
+//! pass fails the build on a waiver without one. Directives are parsed
+//! only out of comments (never string literals), so quoting the syntax
+//! in an error message cannot waive anything.
+//!
+//! Syntax (one directive per comment): a line comment holding the
+//! `corridor-lint` marker, a colon, then
+//! `allow(<rule-id>, reason = "<why this is safe>")`. The full form is
+//! spelled out in `docs/lints.md` — deliberately not here, because the
+//! pass scans its own sources and a verbatim directive in a doc
+//! comment would register as a real (and unused) waiver.
+
+use crate::rules::Rule;
+use crate::sanitize::Comment;
+
+/// The directive marker. Built from two halves so the engine's own
+/// sources never contain the complete marker outside a real comment.
+fn marker() -> String {
+    let mut m = String::from("corridor");
+    m.push_str("-lint:");
+    m
+}
+
+/// One parsed waiver directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// 1-based line the directive comment starts on.
+    pub line: usize,
+    /// The rule id exactly as written in the directive.
+    pub rule_id: String,
+    /// The parsed rule, when the id is known.
+    pub rule: Option<Rule>,
+    /// The reason string, when present and non-empty.
+    pub reason: Option<String>,
+    /// Whether the directive itself parsed as `allow(...)`.
+    pub well_formed: bool,
+}
+
+impl Waiver {
+    /// Whether this waiver suppresses `rule` on `line` (the directive
+    /// covers its own line and the line immediately below it).
+    pub fn covers(&self, rule: Rule, line: usize) -> bool {
+        self.rule == Some(rule)
+            && self.reason.is_some()
+            && self.well_formed
+            && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extracts every waiver directive from a file's comments.
+pub fn parse_waivers(comments: &[Comment]) -> Vec<Waiver> {
+    let marker = marker();
+    let mut waivers = Vec::new();
+    for comment in comments {
+        let Some(at) = comment.text.find(&marker) else {
+            continue;
+        };
+        waivers.push(parse_directive(
+            comment.line,
+            comment.text[at + marker.len()..].trim_start(),
+        ));
+    }
+    waivers
+}
+
+/// Parses the text following the marker: `allow(<rule>, reason = "…")`.
+fn parse_directive(line: usize, rest: &str) -> Waiver {
+    let malformed = |rule_id: String| Waiver {
+        line,
+        rule_id,
+        rule: None,
+        reason: None,
+        well_formed: false,
+    };
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return malformed(String::new());
+    };
+    let Some(close) = body.rfind(')') else {
+        return malformed(String::new());
+    };
+    let body = &body[..close];
+    let (rule_id, tail) = match body.split_once(',') {
+        Some((id, tail)) => (id.trim().to_string(), tail.trim()),
+        None => (body.trim().to_string(), ""),
+    };
+    let reason = tail
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|t| t.strip_prefix('='))
+        .map(str::trim_start)
+        .and_then(parse_quoted)
+        .filter(|r| !r.is_empty());
+    Waiver {
+        line,
+        rule: Rule::parse(&rule_id),
+        rule_id,
+        reason,
+        well_formed: true,
+    }
+}
+
+/// Extracts the contents of a double-quoted string (no escape
+/// processing — reasons are prose).
+fn parse_quoted(text: &str) -> Option<String> {
+    let body = text.strip_prefix('"')?;
+    let end = body.rfind('"')?;
+    Some(body[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::sanitize;
+
+    fn waivers_of(src: &str) -> Vec<Waiver> {
+        parse_waivers(&sanitize(src).comments)
+    }
+
+    #[test]
+    fn parses_rule_and_reason() {
+        let src =
+            "// corridor-lint: allow(no-panic, reason = \"String sink is Ok-only\")\nx.unwrap();\n";
+        let ws = waivers_of(src);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, Some(Rule::NoPanic));
+        assert_eq!(ws[0].reason.as_deref(), Some("String sink is Ok-only"));
+        assert!(ws[0].covers(Rule::NoPanic, 2));
+        assert!(!ws[0].covers(Rule::NoPanic, 3));
+        assert!(!ws[0].covers(Rule::FloatOrd, 2));
+    }
+
+    #[test]
+    fn missing_reason_is_recorded_and_does_not_cover() {
+        let src = "// corridor-lint: allow(no-panic)\nx.unwrap();\n";
+        let ws = waivers_of(src);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].reason.is_none());
+        assert!(!ws[0].covers(Rule::NoPanic, 2));
+    }
+
+    #[test]
+    fn unknown_rule_is_recorded() {
+        let src = "// corridor-lint: allow(no-such-rule, reason = \"x\")\n";
+        let ws = waivers_of(src);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].rule.is_none());
+        assert_eq!(ws[0].rule_id, "no-such-rule");
+    }
+
+    #[test]
+    fn empty_reason_counts_as_missing() {
+        let src = "// corridor-lint: allow(no-panic, reason = \"\")\n";
+        let ws = waivers_of(src);
+        assert!(ws[0].reason.is_none());
+    }
+
+    #[test]
+    fn malformed_directive_is_flagged_not_ignored() {
+        let src = "// corridor-lint: allowing things\n";
+        let ws = waivers_of(src);
+        assert_eq!(ws.len(), 1);
+        assert!(!ws[0].well_formed);
+    }
+
+    #[test]
+    fn directive_in_string_literal_is_ignored() {
+        let src = "let m = \"corridor-lint: allow(no-panic, reason = \\\"x\\\")\";\n";
+        assert!(waivers_of(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_directive_covers_its_line() {
+        let src = "x.unwrap(); // corridor-lint: allow(no-panic, reason = \"safe\")\n";
+        let ws = waivers_of(src);
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].covers(Rule::NoPanic, 1));
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: a malformed directive is itself a violation.
+
+// corridor-lint: allowing everything forever
+pub fn nothing() {}

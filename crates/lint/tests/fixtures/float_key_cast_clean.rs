@@ -1,0 +1,5 @@
+//! Fixture: total order instead of a cast-based key.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,5 @@
+//! Fixture: a lossy float-to-int cast inside a sort key.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by_key(|x| (x * 1000.0) as i64);
+}

@@ -1,0 +1,6 @@
+//! Fixture: a reasoned waiver suppresses the float-key-cast rule.
+
+pub fn rank(xs: &mut [f64]) {
+    // corridor-lint: allow(float-key-cast, reason = "values are integral by construction, cast is exact")
+    xs.sort_by_key(|x| (x * 1000.0) as i64);
+}

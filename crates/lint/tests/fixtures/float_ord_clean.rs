@@ -1,0 +1,5 @@
+//! Fixture: total order over floats, no rule fires.
+
+pub fn ordering(a: f64, b: f64) -> core::cmp::Ordering {
+    a.total_cmp(&b)
+}

@@ -1,0 +1,5 @@
+//! Fixture: NaN-unsafe float ordering in library code.
+
+pub fn ordering(a: f64, b: f64) -> Option<core::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

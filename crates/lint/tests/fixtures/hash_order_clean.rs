@@ -1,0 +1,5 @@
+//! Fixture: ordered container, deterministic iteration.
+
+use std::collections::BTreeMap;
+
+pub type Cache = BTreeMap<String, u64>;

@@ -1,0 +1,5 @@
+//! Fixture: a hash-ordered container at an import choke point.
+
+use std::collections::HashMap;
+
+pub type Cache = HashMap<String, u64>;

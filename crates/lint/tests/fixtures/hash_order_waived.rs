@@ -1,0 +1,6 @@
+//! Fixture: a reasoned waiver suppresses the hash-order rule.
+
+// corridor-lint: allow(hash-order, reason = "map is key-probed only, never iterated; order cannot escape")
+use std::collections::HashMap;
+
+pub type Cache = HashMap<String, u64>;

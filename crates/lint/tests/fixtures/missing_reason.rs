@@ -1,0 +1,6 @@
+//! Fixture: a waiver without a reason suppresses nothing.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // corridor-lint: allow(no-panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Fixture: fallible accessor, plus test code where panics are fine.
+
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a panicking accessor in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Fixture: a waiver naming a rule that does not exist.
+
+// corridor-lint: allow(no-such-rule, reason = "this rule id is not real")
+pub fn nothing() {}

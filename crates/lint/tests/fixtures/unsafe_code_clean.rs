@@ -1,0 +1,5 @@
+//! Fixture: atomics instead of mutable statics.
+
+use std::sync::atomic::AtomicU64;
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,3 @@
+//! Fixture: mutable global state.
+
+pub static mut COUNTER: u64 = 0;

@@ -1,0 +1,4 @@
+//! Fixture: a reasoned waiver suppresses the unsafe-code rule.
+
+// corridor-lint: allow(unsafe-code, reason = "single-threaded init-once flag audited in review")
+pub static mut COUNTER: u64 = 0;

@@ -1,0 +1,5 @@
+//! Fixture: simulated time flows in as data, no ambient clock.
+
+pub fn stamp(simulated_seconds: f64) -> f64 {
+    simulated_seconds
+}

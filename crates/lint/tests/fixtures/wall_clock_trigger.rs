@@ -1,0 +1,5 @@
+//! Fixture: wall-clock time in library code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

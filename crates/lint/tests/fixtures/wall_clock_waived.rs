@@ -1,0 +1,6 @@
+//! Fixture: a reasoned waiver suppresses the wall-clock rule.
+
+pub fn stamp() -> std::time::Instant {
+    // corridor-lint: allow(wall-clock, reason = "diagnostic-only timestamp, never feeds a result or report")
+    std::time::Instant::now()
+}

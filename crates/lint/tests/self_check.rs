@@ -1,0 +1,82 @@
+//! The live-tree self check: runs the full lint pass over this
+//! workspace on every `cargo test`, so a new violation anywhere in the
+//! tree fails the suite — the pass cannot silently rot. A companion
+//! test injects a violation into a real live file's source text and
+//! asserts the pass catches it, proving the check exercises the same
+//! engine (and the same scope mapping) that guards the tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use corridor_lint::{check_source, run_workspace, scope_for};
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn live_tree_is_clean() {
+    let report = run_workspace(&workspace_root()).expect("lint pass runs over the workspace");
+    assert!(
+        report.is_clean(),
+        "lint violations in the live tree:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // A collapse of the file walk would pass is_clean vacuously; the
+    // workspace holds well over 100 sources, so pin a floor.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — walker regressed",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn live_tree_has_zero_undocumented_or_stale_waivers() {
+    let report = run_workspace(&workspace_root()).expect("lint pass runs over the workspace");
+    for w in &report.waivers {
+        assert!(
+            w.reason.is_some(),
+            "undocumented waiver at {}:{} ({})",
+            w.file,
+            w.line,
+            w.rule_id
+        );
+    }
+    let stale: Vec<String> = report
+        .unused_waivers()
+        .map(|w| format!("{}:{} ({})", w.file, w.line, w.rule_id))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale waivers suppress nothing: {stale:?}"
+    );
+}
+
+#[test]
+fn injected_violation_in_a_live_file_is_detected() {
+    // Fixture-under-test: take a real library source that scans clean
+    // today, append a violation, and re-check the tainted text through
+    // the same engine the tree check uses.
+    let rel = "crates/core/src/lib.rs";
+    let source = fs::read_to_string(workspace_root().join(rel)).expect("live file is readable");
+    let scope = scope_for(rel).expect("library sources are in scope");
+    assert!(
+        check_source(rel, &source, scope).diagnostics.is_empty(),
+        "precondition: {rel} scans clean"
+    );
+
+    let tainted = format!("{source}\npub fn injected(x: Option<u32>) -> u32 {{ x.unwrap() }}\n");
+    let findings = check_source(rel, &tainted, scope);
+    assert!(
+        findings.diagnostics.iter().any(|d| d.rule_id == "no-panic"),
+        "injected unwrap not detected: {:?}",
+        findings.diagnostics
+    );
+}

@@ -64,6 +64,7 @@ impl DutyCycle {
     /// Panics if durations are negative or exceed 24 h in total; use
     /// [`DutyCycle::new`] for a fallible constructor.
     pub fn over_day(active: Hours, idle: Hours) -> Self {
+        // corridor-lint: allow(no-panic, reason = "documented `# Panics` convenience constructor; DutyCycle::new is the fallible form")
         DutyCycle::new(active, idle, Hours::DAY).expect("valid daily duty cycle")
     }
 

@@ -152,7 +152,9 @@ impl ResultCache {
 
     fn try_store(&self, key: &str, rows: &RowPair) -> io::Result<()> {
         let path = self.entry_path(key);
-        let dir = path.parent().expect("entry path always has a parent");
+        let dir = path
+            .parent()
+            .ok_or_else(|| io::Error::other("cache entry path has no parent directory"))?;
         fs::create_dir_all(dir)?;
         let mut payload = Vec::with_capacity(rows.csv.len() + 1 + rows.json.len());
         payload.extend_from_slice(rows.csv.as_bytes());

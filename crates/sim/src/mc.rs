@@ -168,6 +168,18 @@ impl McMetric {
         McMetric::RepeaterWhDay,
     ];
 
+    /// Position of this metric in [`McMetric::ALL`] — and therefore in
+    /// every per-cell stats array (the tie is pinned by a unit test).
+    pub const fn index(self) -> usize {
+        match self {
+            McMetric::Passes => 0,
+            McMetric::BaselineWhKm => 1,
+            McMetric::SleepWhKm => 2,
+            McMetric::SavingSleepPct => 3,
+            McMetric::RepeaterWhDay => 4,
+        }
+    }
+
     /// The stable column-name stem used by the writers.
     pub fn key(&self) -> &'static str {
         match self {
@@ -201,11 +213,7 @@ impl McCellResult {
 
     /// The statistics of one metric.
     pub fn stats(&self, metric: McMetric) -> &SummaryStats {
-        let idx = McMetric::ALL
-            .iter()
-            .position(|m| *m == metric)
-            .expect("ALL covers every metric");
-        &self.stats[idx]
+        &self.stats[metric.index()]
     }
 }
 
@@ -672,18 +680,16 @@ impl McReport {
     /// Renders the report as CSV ([`MC_CSV_HEADER`] plus one line per
     /// cell).
     pub fn to_csv(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 400 * self.results.len());
-        self.stream_into(RowFormat::Csv, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 400 * self.results.len(), |sink| {
+            self.stream_into(RowFormat::Csv, sink)
+        })
     }
 
     /// Renders the report as a JSON array of cell objects.
     pub fn to_json(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 700 * self.results.len());
-        self.stream_into(RowFormat::Json, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 700 * self.results.len(), |sink| {
+            self.stream_into(RowFormat::Json, sink)
+        })
     }
 
     /// Writes [`McReport::to_csv`] to `path`.
@@ -826,6 +832,13 @@ mod tests {
 
     fn small_plan() -> ReplicationPlan {
         ReplicationPlan::new(5).master_seed(7)
+    }
+
+    #[test]
+    fn metric_index_matches_all_order() {
+        for (i, metric) in McMetric::ALL.into_iter().enumerate() {
+            assert_eq!(metric.index(), i, "{metric:?}");
+        }
     }
 
     #[test]

@@ -123,7 +123,9 @@ pub(crate) fn decompose_routes(net: &CorridorNetwork) -> Vec<TrainRoute> {
                     if remaining[e] <= DEMAND_TOL || path.contains(&e) {
                         continue;
                     }
-                    let other = net.edge(e).other_end(station).expect("incident edge");
+                    let Some(other) = net.edge(e).other_end(station) else {
+                        continue;
+                    };
                     if visited[other] {
                         continue;
                     }
@@ -132,7 +134,9 @@ pub(crate) fn decompose_routes(net: &CorridorNetwork) -> Vec<TrainRoute> {
                     }
                 }
                 let Some(e) = next else { break };
-                let other = net.edge(e).other_end(station).expect("incident edge");
+                let Some(other) = net.edge(e).other_end(station) else {
+                    break;
+                };
                 visited[other] = true;
                 if grow_back {
                     path.push_back(e);
@@ -620,18 +624,12 @@ impl NetworkDayReport {
 
     /// Renders the day rows as CSV.
     pub fn to_csv(&self) -> String {
-        let mut sink = StringSink::with_capacity(1024);
-        self.stream_into(RowFormat::Csv, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(1024, |sink| self.stream_into(RowFormat::Csv, sink))
     }
 
     /// Renders the day rows as a JSON array.
     pub fn to_json(&self) -> String {
-        let mut sink = StringSink::with_capacity(2048);
-        self.stream_into(RowFormat::Json, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(2048, |sink| self.stream_into(RowFormat::Json, sink))
     }
 }
 

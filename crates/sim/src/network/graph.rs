@@ -520,6 +520,7 @@ impl CorridorNetwork {
         }
         for (i, &tph) in demands.iter().enumerate() {
             net.add_edge(CorridorEdge::between(i, i + 1).trains_per_hour(tph))
+                // corridor-lint: allow(no-panic, reason = "stations 0..=len were added in the loop above, so both endpoints exist")
                 .expect("line endpoints exist by construction");
         }
         net
@@ -533,6 +534,7 @@ impl CorridorNetwork {
         for (i, &tph) in demands.iter().enumerate() {
             let leaf = net.add_station(&format!("s{}", i + 1));
             net.add_edge(CorridorEdge::between(hub, leaf).trains_per_hour(tph))
+                // corridor-lint: allow(no-panic, reason = "hub and leaf were just added by add_station, so both endpoints exist")
                 .expect("star endpoints exist by construction");
         }
         net
@@ -551,6 +553,7 @@ impl CorridorNetwork {
         for (i, &tph) in demands.iter().enumerate() {
             let next = (i + 1) % demands.len();
             net.add_edge(CorridorEdge::between(i, next).trains_per_hour(tph))
+                // corridor-lint: allow(no-panic, reason = "stations 0..len were added in the loop above and indices are taken mod len")
                 .expect("cycle endpoints exist by construction");
         }
         net

@@ -34,7 +34,7 @@ pub use schedule::SleepDecision;
 use corridor_core::margin::MarginModel;
 
 use core::fmt::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use corridor_core::sink::{RowEmitter, RowFormat, RowSink, StringSink};
 use corridor_core::ScenarioError;
@@ -307,7 +307,7 @@ fn shared_cache(
     cell: &ScenarioCell,
     space: &SearchSpace,
 ) -> Arc<CoverageCache> {
-    let mut caches = caches.lock().expect("coverage cache lock");
+    let mut caches = caches.lock().unwrap_or_else(PoisonError::into_inner);
     let budget = cell.params().budget();
     match caches.iter().find(|(b, _)| b == budget) {
         Some((_, shared)) => Arc::clone(shared),
@@ -430,18 +430,14 @@ impl NetworkReport {
     /// Renders the per-edge frontiers as CSV (the linear optimizer's
     /// format, one line per frontier point).
     pub fn frontier_csv(&self) -> String {
-        let mut sink = StringSink::with_capacity(4096);
-        self.stream_frontier_into(RowFormat::Csv, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(4096, |sink| self.stream_frontier_into(RowFormat::Csv, sink))
     }
 
     /// Renders the per-edge frontiers as a JSON array of edge objects.
     pub fn frontier_json(&self) -> String {
-        let mut sink = StringSink::with_capacity(8192);
-        self.stream_frontier_into(RowFormat::Json, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(8192, |sink| {
+            self.stream_frontier_into(RowFormat::Json, sink)
+        })
     }
 
     /// Renders the sleep schedule as CSV

@@ -334,7 +334,9 @@ pub(crate) fn schedule_sleep(
             }
             let sleeper_pick = picks[sleeper.edge]
                 .as_ref()
-                .expect("slots only exist for picked edges");
+                .ok_or(ScenarioError::Invariant(
+                    "slot references an edge without a pick",
+                ))?;
             let slept_wh = sleeper_pick.repeater_wh_day;
             let handed_tph = net.edge(sleeper.edge).demand_tph();
             for (ai, absorber) in slots.iter().enumerate() {
@@ -351,9 +353,12 @@ pub(crate) fn schedule_sleep(
                 if after_tph > capacity_tph {
                     continue;
                 }
-                let absorber_pick = picks[absorber.edge]
-                    .as_ref()
-                    .expect("slots only exist for picked edges");
+                let absorber_pick =
+                    picks[absorber.edge]
+                        .as_ref()
+                        .ok_or(ScenarioError::Invariant(
+                            "slot references an edge without a pick",
+                        ))?;
                 let before = boundary_wh_day(net, absorber.edge, before_tph, absorber_pick.isd)?;
                 let after = boundary_wh_day(net, absorber.edge, after_tph, absorber_pick.isd)?;
                 let net_wh = slept_wh - (after - before);
@@ -428,9 +433,12 @@ pub(crate) fn schedule_sleep(
                 after,
             } => {
                 let handed_tph = net.edge(slots[si].edge).demand_tph();
-                let sleeper_pick = picks[slots[si].edge]
-                    .as_ref()
-                    .expect("slots only exist for picked edges");
+                let sleeper_pick =
+                    picks[slots[si].edge]
+                        .as_ref()
+                        .ok_or(ScenarioError::Invariant(
+                            "slot references an edge without a pick",
+                        ))?;
                 plan.push(SleepDecision {
                     station: slots[si].station,
                     edge: slots[si].edge,
@@ -454,8 +462,11 @@ pub(crate) fn schedule_sleep(
             } => {
                 let interior = &mut interiors[ie];
                 let e = interior.edge;
-                let price = interior.prices[k].expect("committed candidates are priced");
-                let margin_before = ledger.margin(e).expect("trading edges hold margin");
+                let price = interior.prices[k]
+                    .ok_or(ScenarioError::Invariant("committed candidate has no price"))?;
+                let margin_before = ledger.margin(e).ok_or(ScenarioError::Invariant(
+                    "trading edge holds no margin entry",
+                ))?;
                 plan.push(SleepDecision {
                     station: net.edge(e).a(),
                     edge: e,

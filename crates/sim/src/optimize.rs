@@ -26,7 +26,7 @@
 use core::fmt::Write as _;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use corridor_core::margin::MarginModel;
 use corridor_core::sink::{RowEmitter, RowFormat, RowSink, SinkResult, StringSink};
@@ -477,7 +477,7 @@ impl DeploymentOptimizer {
                     None => String::new(),
                 };
                 let shared = {
-                    let mut caches = coverage.lock().expect("coverage cache lock");
+                    let mut caches = coverage.lock().unwrap_or_else(PoisonError::into_inner);
                     let budget = cell.params().budget();
                     match caches.iter().find(|(b, _)| b == budget) {
                         Some((_, shared)) => Arc::clone(shared),
@@ -877,19 +877,17 @@ impl OptimizeReport {
     /// Renders the report as CSV: one line per frontier point, one
     /// `unsolvable` line per cell without any feasible candidate.
     pub fn to_csv(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 160 * self.frontier_points().max(1));
-        self.stream_into(RowFormat::Csv, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 160 * self.frontier_points().max(1), |sink| {
+            self.stream_into(RowFormat::Csv, sink)
+        })
     }
 
     /// Renders the report as a JSON array of cell objects, each with
     /// its status and frontier.
     pub fn to_json(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 320 * self.frontier_points().max(1));
-        self.stream_into(RowFormat::Json, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 320 * self.frontier_points().max(1), |sink| {
+            self.stream_into(RowFormat::Json, sink)
+        })
     }
 
     /// Writes [`OptimizeReport::to_csv`] to `path`.

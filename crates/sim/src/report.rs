@@ -111,18 +111,16 @@ impl SweepReport {
 
     /// Renders the report as CSV ([`CSV_HEADER`] plus one line per cell).
     pub fn to_csv(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 160 * self.results.len());
-        self.stream_into(RowFormat::Csv, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 160 * self.results.len(), |sink| {
+            self.stream_into(RowFormat::Csv, sink)
+        })
     }
 
     /// Renders the report as a JSON array of cell objects.
     pub fn to_json(&self) -> String {
-        let mut sink = StringSink::with_capacity(64 + 320 * self.results.len());
-        self.stream_into(RowFormat::Json, &mut sink)
-            .expect("string sinks cannot fail");
-        sink.into_string()
+        StringSink::render(64 + 320 * self.results.len(), |sink| {
+            self.stream_into(RowFormat::Json, sink)
+        })
     }
 
     /// Writes [`SweepReport::to_csv`] to `path`.

@@ -14,6 +14,10 @@
 //! simulation used to run inline, in the same order, so consuming the
 //! cache is bit-identical to recomputing (pinned by the tests below).
 
+// Order-safety audit (hash-order): the process-wide year cache below is
+// only ever `get`/`insert`-probed by exact key; no iteration, so hash
+// order cannot perturb battery stepping or any downstream report.
+// corridor-lint: allow(hash-order, reason = "year cache is get/insert by key only, never iterated; order cannot escape")
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 

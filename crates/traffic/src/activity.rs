@@ -54,7 +54,7 @@ impl ActivityTimeline {
     pub fn from_intervals<I: IntoIterator<Item = (Seconds, Seconds)>>(intervals: I) -> Self {
         let mut raw: Vec<(Seconds, Seconds)> =
             intervals.into_iter().filter(|(s, e)| e > s).collect();
-        raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are never NaN"));
+        raw.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut merged: Vec<(Seconds, Seconds)> = Vec::with_capacity(raw.len());
         for (start, end) in raw {
             match merged.last_mut() {
@@ -223,5 +223,21 @@ mod tests {
         let slow_total = ActivityTimeline::for_section(&section, &slow.passes()).total_active();
         // slower trains spend longer in the section despite being shorter
         assert!(slow_total > fast_total);
+    }
+
+    #[test]
+    fn nan_intervals_are_discarded_not_panicked() {
+        // regression: the interval sort used partial_cmp + expect, which
+        // panicked on NaN start times. NaN endpoints fail the `end > start`
+        // filter (all NaN comparisons are false), so such intervals drop
+        // out before the sort, and total_cmp keeps the rest ordered.
+        let activity = ActivityTimeline::from_intervals([
+            (sec(f64::NAN), sec(5.0)),
+            (sec(1.0), sec(f64::NAN)),
+            (sec(f64::NAN), sec(f64::NAN)),
+            (sec(2.0), sec(4.0)),
+        ]);
+        assert_eq!(activity.intervals(), &[(sec(2.0), sec(4.0))]);
+        assert_eq!(activity.total_active(), sec(2.0));
     }
 }

@@ -105,11 +105,7 @@ impl DelayModel {
                 TrainPass::new(pass.train(), t.max(Seconds::ZERO))
             })
             .collect();
-        out.sort_by(|a, b| {
-            a.origin_time()
-                .partial_cmp(&b.origin_time())
-                .expect("pass times are never NaN")
-        });
+        out.sort_by(|a, b| a.origin_time().total_cmp(&b.origin_time()));
         out
     }
 }
@@ -188,11 +184,7 @@ impl MixedTimetable {
             .iter()
             .flat_map(|service| service.passes())
             .collect();
-        out.sort_by(|a, b| {
-            a.origin_time()
-                .partial_cmp(&b.origin_time())
-                .expect("pass times are never NaN")
-        });
+        out.sort_by(|a, b| a.origin_time().total_cmp(&b.origin_time()));
         out
     }
 }

@@ -41,6 +41,15 @@ impl Db {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Converts a linear power ratio to decibels.
     ///
     /// # Panics
@@ -163,6 +172,15 @@ impl Dbm {
     #[inline]
     pub const fn value(self) -> f64 {
         self.0
+    }
+
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// Converts an absolute power in watts to dBm.
@@ -348,5 +366,22 @@ mod tests {
     fn display_formats() {
         assert_eq!(Db::new(3.014).to_string(), "3.01 dB");
         assert_eq!(Dbm::new(-100.5).to_string(), "-100.50 dBm");
+    }
+
+    #[test]
+    fn total_cmp_orders_nan_last() {
+        use core::cmp::Ordering;
+        let nan = Db::new(f64::NAN);
+        assert_eq!(nan.total_cmp(&Db::new(f64::INFINITY)), Ordering::Greater);
+        assert_eq!(Db::new(-3.0).total_cmp(&Db::new(5.0)), Ordering::Less);
+        // min_by with total_cmp never selects NaN unless every element is NaN
+        let min = [Db::new(7.0), nan, Db::new(3.0)]
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b));
+        assert_eq!(min, Some(Db::new(3.0)));
+        let mut v = [Dbm::new(f64::NAN), Dbm::new(-90.0), Dbm::new(-120.0)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Dbm::new(-120.0));
+        assert!(v[2].value().is_nan());
     }
 }

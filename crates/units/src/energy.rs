@@ -36,6 +36,15 @@ impl Watts {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Returns the value in kilowatts.
     #[inline]
     pub fn kilowatts(self) -> f64 {
@@ -175,6 +184,15 @@ impl WattHours {
     #[inline]
     pub const fn value(self) -> f64 {
         self.0
+    }
+
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// Returns the value in kilowatt-hours.

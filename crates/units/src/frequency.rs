@@ -53,6 +53,15 @@ impl Hertz {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Returns the value in kilohertz.
     #[inline]
     pub fn kilohertz(self) -> f64 {

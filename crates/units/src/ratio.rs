@@ -59,6 +59,15 @@ impl LoadFraction {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// True if this is exactly zero load (the sleep-eligible state).
     #[inline]
     pub fn is_idle(self) -> bool {

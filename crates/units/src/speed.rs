@@ -33,6 +33,15 @@ impl MetersPerSecond {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Converts to km/h.
     #[inline]
     pub fn kilometers_per_hour(self) -> KilometersPerHour {
@@ -101,6 +110,15 @@ impl KilometersPerHour {
     #[inline]
     pub const fn value(self) -> f64 {
         self.0
+    }
+
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// Converts to m/s.

@@ -38,6 +38,15 @@ impl Seconds {
         self.0
     }
 
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
     /// Converts to hours.
     #[inline]
     pub fn hours(self) -> Hours {
@@ -162,6 +171,15 @@ impl Hours {
     #[inline]
     pub const fn value(self) -> f64 {
         self.0
+    }
+
+    /// Total order over the raw value, as [`f64::total_cmp`]: NaN sorts
+    /// after `+inf`, so comparison-based searches order NaN last instead
+    /// of panicking or silently dropping elements.
+    #[inline]
+    #[must_use]
+    pub fn total_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 
     /// Converts to seconds.
@@ -297,5 +315,18 @@ mod tests {
     fn display_formats() {
         assert_eq!(Seconds::new(16.2).to_string(), "16.20 s");
         assert_eq!(Hours::new(5.0).to_string(), "5.000 h");
+    }
+
+    #[test]
+    fn total_cmp_sorts_nan_after_finite_times() {
+        let mut v = [
+            Seconds::new(f64::NAN),
+            Seconds::new(30.0),
+            Seconds::new(-1.0),
+        ];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], Seconds::new(-1.0));
+        assert_eq!(v[1], Seconds::new(30.0));
+        assert!(v[2].value().is_nan());
     }
 }
